@@ -1,0 +1,99 @@
+package gorder
+
+import "gorder/internal/algos"
+
+// The paper's nine benchmark kernels, exposed for direct use. All of
+// them run unmodified on any vertex order — that is the point: the
+// ordering changes their speed, not their code or results.
+
+// NeighbourQuery computes, for every vertex, the sum of the
+// out-degrees of its out-neighbours (the paper's NQ kernel).
+func NeighbourQuery(g *Graph) []int64 { return algos.NeighbourQuery(g) }
+
+// BFS runs a breadth-first search from src over out-edges and returns
+// hop distances (-1 where unreachable) and the number of vertices
+// reached.
+func BFS(g *Graph, src NodeID) (dist []int32, reached int) { return algos.BFSFrom(g, src) }
+
+// BFSAll traverses the whole graph breadth-first (restarting at the
+// lowest unvisited vertex) and returns the visit sequence.
+func BFSAll(g *Graph) []NodeID { return algos.BFSAll(g) }
+
+// DFSAll traverses the whole graph depth-first (preorder) and returns
+// the visit sequence.
+func DFSAll(g *Graph) []NodeID { return algos.DFSAll(g) }
+
+// SCC computes strongly connected components (Tarjan) and returns the
+// component of each vertex plus the component count.
+func SCC(g *Graph) (comp []int32, count int) { return algos.SCC(g) }
+
+// ShortestPaths computes unit-weight shortest paths from src with the
+// paper's Bellman–Ford kernel (-1 where unreachable).
+func ShortestPaths(g *Graph, src NodeID) []int32 { return algos.BellmanFord(g, src) }
+
+// PageRank runs power-iteration PageRank (pull form) for iters
+// iterations with the given damping factor; ranks sum to 1.
+func PageRank(g *Graph, iters int, damping float64) []float64 {
+	return algos.PageRank(g, iters, damping)
+}
+
+// DominatingSet computes a greedy dominating set: every vertex is in
+// the set or an out-neighbour of a member.
+func DominatingSet(g *Graph) []NodeID { return algos.DominatingSet(g) }
+
+// CoreNumbers computes the k-core decomposition over total degree.
+func CoreNumbers(g *Graph) []int32 { return algos.CoreNumbers(g) }
+
+// Diameter estimates the diameter by running ShortestPaths from
+// `samples` random sources and keeping the largest finite distance.
+func Diameter(g *Graph, samples int, seed uint64) int32 { return algos.Diameter(g, samples, seed) }
+
+// WCC computes weakly connected components (directions ignored) and
+// returns each vertex's component plus the component count.
+func WCC(g *Graph) (comp []int32, count int) { return algos.WCC(g) }
+
+// TriangleCount counts the triangles of g's undirected view.
+func TriangleCount(g *Graph) int64 { return algos.TriangleCount(g) }
+
+// LabelPropagation runs deterministic label-propagation community
+// detection (maxIters <= 0 selects the default bound) and returns
+// dense community labels plus the community count.
+func LabelPropagation(g *Graph, maxIters int) (labels []int32, communities int) {
+	return algos.LabelPropagation(g, maxIters)
+}
+
+// DOBFS runs a direction-optimising BFS (Beamer-style top-down /
+// bottom-up switching) from src, returning the same distances as BFS
+// with far fewer edge examinations on low-diameter graphs.
+func DOBFS(g *Graph, src NodeID) (dist []int32, reached int) { return algos.DOBFS(g, src) }
+
+// RandomWeights returns deterministic per-edge weights in
+// [1, maxWeight] aligned with g's CSR edge order, hashed from edge
+// endpoints so the same logical edge always gets the same weight.
+func RandomWeights(g *Graph, maxWeight int32, seed uint64) []int32 {
+	return algos.RandomWeights(g, maxWeight, seed)
+}
+
+// DijkstraWeighted computes single-source shortest paths over
+// non-negative weights (aligned with the CSR edge order); -1 marks
+// unreachable vertices.
+func DijkstraWeighted(g *Graph, weights []int32, src NodeID) []int64 {
+	return algos.DijkstraWeighted(g, weights, src)
+}
+
+// BellmanFordWeighted computes single-source shortest paths by
+// relaxation sweeps (negative edges allowed); ok is false if a
+// reachable negative cycle exists.
+func BellmanFordWeighted(g *Graph, weights []int32, src NodeID) (dist []int64, ok bool) {
+	return algos.BellmanFordWeighted(g, weights, src)
+}
+
+// Betweenness approximates betweenness centrality (Brandes–Pich) from
+// `samples` random sources; samples >= NumNodes computes it exactly.
+func Betweenness(g *Graph, samples int, seed uint64) []float64 {
+	return algos.Betweenness(g, samples, seed)
+}
+
+// BetweennessExact computes exact betweenness centrality over
+// unit-weight directed shortest paths (Brandes, O(n·m)).
+func BetweennessExact(g *Graph) []float64 { return algos.BetweennessExact(g) }

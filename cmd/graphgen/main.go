@@ -1,0 +1,105 @@
+// Command graphgen generates the synthetic benchmark graphs this
+// repository substitutes for the paper's real-world datasets.
+//
+// Generate by model:
+//
+//	graphgen -type web -n 50000 -seed 7 -o wiki.graph
+//	graphgen -type social -n 20000 -o pokec.txt -format text
+//
+// Or generate a registry dataset exactly as the benchmarks do:
+//
+//	graphgen -dataset sdarc-s -scale 1.0 -o sdarc.graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gorder"
+	"gorder/internal/bench"
+	"gorder/internal/graph"
+)
+
+func main() {
+	var (
+		typ     = flag.String("type", "web", "generator: social|web|rmat|sbm|er|grid")
+		n       = flag.Int("n", 10000, "vertex count (rmat rounds to a power of two)")
+		m       = flag.Int("m", 0, "edge count (er only; default 8n)")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		dataset = flag.String("dataset", "", "generate a benchmark registry dataset instead (e.g. sdarc-s)")
+		scale   = flag.Float64("scale", 1.0, "registry dataset size multiplier")
+		out     = flag.String("o", "", "output file (default stdout)")
+		format  = flag.String("format", "binary", "output format: binary|text")
+		stats   = flag.Bool("stats", true, "print graph statistics to stderr")
+	)
+	flag.Parse()
+
+	g, err := build(*typ, *n, *m, *seed, *dataset, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, gorder.ComputeStats(g))
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "binary":
+		err = g.WriteBinary(w)
+	case "text":
+		err = g.WriteEdgeList(w)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}
+
+func build(typ string, n, m int, seed uint64, dataset string, scale float64) (*graph.Graph, error) {
+	if dataset != "" {
+		ds, ok := bench.DatasetByName(dataset)
+		if !ok {
+			return nil, fmt.Errorf("unknown dataset %q (see cmd/bench -list)", dataset)
+		}
+		return ds.Build(scale), nil
+	}
+	switch typ {
+	case "social":
+		return gorder.NewSocialGraph(n, seed), nil
+	case "web":
+		return gorder.NewWebGraph(n, seed), nil
+	case "rmat":
+		s := 4
+		for 1<<uint(s+1) <= n {
+			s++
+		}
+		return gorder.NewRMATGraph(s, 8, seed), nil
+	case "sbm":
+		return gorder.NewCommunityGraph(n, 20, 8, 3, seed), nil
+	case "er":
+		if m == 0 {
+			m = 8 * n
+		}
+		return gorder.NewUniformGraph(n, m, seed), nil
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return gorder.NewGridGraph(side, side), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", typ)
+	}
+}

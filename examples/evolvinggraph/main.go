@@ -1,0 +1,77 @@
+// Evolvinggraph: keep a growing social network's vertex order
+// cache-friendly without re-running the full Gorder computation on
+// every batch of new users — the evolving-graph scenario the papers'
+// discussion sections raise.
+//
+//	go run ./examples/evolvinggraph
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"gorder"
+)
+
+func main() {
+	// Day 0: a social network with 30k users, ordered once.
+	g := gorder.NewSocialGraph(30_000, 5)
+	t0 := time.Now()
+	perm := gorder.Order(g)
+	fullCost := time.Since(t0)
+	fmt.Printf("day 0: %d users, full Gorder in %v (F = %d)\n",
+		g.NumNodes(), fullCost.Round(time.Millisecond),
+		gorder.Score(g, perm, gorder.DefaultWindow))
+
+	// Each "day", 3% new users join and follow a few existing ones.
+	for day := 1; day <= 3; day++ {
+		g2, grown := grow(g, g.NumNodes()*3/100, uint64(day))
+		t1 := time.Now()
+		permInc := gorder.OrderIncremental(g2, perm, gorder.Options{})
+		incCost := time.Since(t1)
+
+		t2 := time.Now()
+		permFull := gorder.Order(g2)
+		fullCost := time.Since(t2)
+
+		w := gorder.DefaultWindow
+		fmt.Printf("day %d: +%d users | incremental %-8v F=%d | full %-8v F=%d | update is %.0fx cheaper\n",
+			day, grown,
+			incCost.Round(time.Millisecond), gorder.Score(g2, permInc, w),
+			fullCost.Round(time.Millisecond), gorder.Score(g2, permFull, w),
+			float64(fullCost)/float64(incCost))
+
+		g, perm = g2, permInc
+	}
+	fmt.Println("\n(old users keep their IDs across days — external indexes stay valid)")
+}
+
+// grow returns a copy of g with extra new vertices appended, each
+// following a few existing users (with some follow-backs).
+func grow(g *gorder.Graph, extra int, seed uint64) (*gorder.Graph, int) {
+	n := g.NumNodes()
+	var edges []gorder.Edge
+	g.Edges(func(u, v gorder.NodeID) bool {
+		edges = append(edges, gorder.Edge{From: u, To: v})
+		return true
+	})
+	// Deterministic pseudo-random follows derived from the seed.
+	state := seed*0x9E3779B97F4A7C15 + 12345
+	next := func(mod int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(mod))
+	}
+	for v := n; v < n+extra; v++ {
+		follows := 2 + next(4)
+		for j := 0; j < follows; j++ {
+			t := gorder.NodeID(next(v))
+			edges = append(edges, gorder.Edge{From: gorder.NodeID(v), To: t})
+			if next(3) == 0 {
+				edges = append(edges, gorder.Edge{From: t, To: gorder.NodeID(v)})
+			}
+		}
+	}
+	return gorder.FromEdgesDedup(n+extra, edges), extra
+}

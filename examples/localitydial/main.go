@@ -1,0 +1,53 @@
+// Localitydial: how much locality can an ordering recover? The
+// Watts–Strogatz rewiring probability beta destroys the original
+// order's intrinsic locality by degrees; this example measures, at
+// each beta, the locality score and the simulated PageRank L1 miss
+// rate for the Original order, Gorder, and RCM (whose bandwidth
+// objective is exactly right for lattices) — the experiment behind
+// `bench -exp dial`.
+//
+//	go run ./examples/localitydial
+package main
+
+import (
+	"fmt"
+
+	"gorder"
+)
+
+func main() {
+	const (
+		n = 15_000
+		k = 8
+	)
+	fmt.Printf("Watts–Strogatz n=%d k=%d; PageRank under the simulated small hierarchy\n\n", n, k)
+	fmt.Printf("%-5s  %12s %12s  %10s %10s %10s\n",
+		"beta", "F(original)", "F(gorder)", "L1 orig", "L1 gorder", "L1 rcm")
+	for _, beta := range []float64{0, 0.2, 0.5, 1.0} {
+		g := gorder.NewSmallWorldGraph(n, k, beta, 7)
+		gord := gorder.Order(g)
+		rcm := gorder.RCM(g)
+		w := gorder.DefaultWindow
+
+		l1 := func(h *gorder.Graph) float64 {
+			rep, err := gorder.SimulateCache(h, gorder.KernelPR, gorder.SmallCache())
+			if err != nil {
+				panic(err)
+			}
+			return rep.L1MissRate()
+		}
+		fmt.Printf("%-5.1f  %12d %12d  %9.1f%% %9.1f%% %9.1f%%\n",
+			beta,
+			gorder.Score(g, gorder.Original(g), w),
+			gorder.Score(g, gord, w),
+			100*l1(g),
+			100*l1(gorder.Apply(g, gord)),
+			100*l1(gorder.Apply(g, rcm)),
+		)
+	}
+	fmt.Println("\nreading: at beta=0 the lattice order is already optimal and nothing can")
+	fmt.Println("improve it. While remnants of the lattice survive (mid beta), the original")
+	fmt.Println("order stays hard to beat — the general form of the papers' observation that")
+	fmt.Println("web crawls' own order performs well. Once locality is fully destroyed")
+	fmt.Println("(beta=1), Gorder rebuilds a large score from nothing and wins on misses.")
+}

@@ -1,0 +1,54 @@
+// Quickstart: reorder a graph with Gorder and watch PageRank get
+// faster and miss the cache less.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"gorder"
+)
+
+func main() {
+	// A synthetic web graph: 40k pages, power-law in-degrees, crawl
+	// locality in the original numbering.
+	g := gorder.NewWebGraph(40_000, 7)
+	s := gorder.ComputeStats(g)
+	fmt.Printf("graph: %d nodes, %d edges (avg degree %.1f)\n\n", s.Nodes, s.Edges, s.AvgDegree)
+
+	// Compute the Gorder permutation (window w = 5, the paper's
+	// default) and relabel the graph with it.
+	t0 := time.Now()
+	perm := gorder.Order(g)
+	fmt.Printf("Gorder computed in %v\n", time.Since(t0).Round(time.Millisecond))
+	fast := gorder.Apply(g, perm)
+
+	// The ordering quality, in the paper's own metric.
+	fmt.Printf("locality score F:  original %d → gorder %d\n\n",
+		gorder.Score(g, gorder.Original(g), gorder.DefaultWindow),
+		gorder.Score(g, perm, gorder.DefaultWindow))
+
+	// Same algorithm, same results, different speed.
+	const iters = 30
+	time1 := timePageRank(g, iters)
+	time2 := timePageRank(fast, iters)
+	fmt.Printf("PageRank ×%d:      original %v → gorder %v (%.2fx)\n",
+		iters, time1.Round(time.Millisecond), time2.Round(time.Millisecond),
+		float64(time1)/float64(time2))
+
+	// And the reason, measured with the cache simulator.
+	before, _ := gorder.SimulateCache(g, gorder.KernelPR, gorder.SmallCache())
+	after, _ := gorder.SimulateCache(fast, gorder.KernelPR, gorder.SmallCache())
+	fmt.Printf("simulated L1 miss: original %.1f%% → gorder %.1f%%\n",
+		100*before.L1MissRate(), 100*after.L1MissRate())
+	fmt.Printf("simulated RAM hit: original %.1f%% → gorder %.1f%%\n",
+		100*before.MissRate(), 100*after.MissRate())
+}
+
+func timePageRank(g *gorder.Graph, iters int) time.Duration {
+	start := time.Now()
+	gorder.PageRank(g, iters, 0.85)
+	return time.Since(start)
+}

@@ -1,0 +1,57 @@
+package gorder
+
+import "gorder/internal/gen"
+
+// Synthetic dataset generators, the stand-ins for the paper's
+// real-world datasets (see DESIGN.md §4). All are deterministic in
+// their seed.
+
+// NewSocialGraph grows a directed preferential-attachment (Barabási–
+// Albert) graph with n vertices and about k out-links per vertex —
+// the heavy-tailed structure of the paper's social datasets.
+func NewSocialGraph(n int, seed uint64) *Graph {
+	return gen.BarabasiAlbert(n, 8, seed)
+}
+
+// NewWebGraph generates a copying-model web graph of n pages whose
+// original numbering already has crawl locality, like the paper's web
+// datasets.
+func NewWebGraph(n int, seed uint64) *Graph {
+	return gen.Web(n, gen.DefaultWeb, seed)
+}
+
+// NewRMATGraph generates an R-MAT power-law graph with 2^scale
+// vertices and about edgeFactor·2^scale edges (Graph500 parameters).
+func NewRMATGraph(scale, edgeFactor int, seed uint64) *Graph {
+	return gen.RMAT(scale, edgeFactor, gen.DefaultRMAT, seed)
+}
+
+// NewCommunityGraph generates a stochastic-block-model graph with the
+// given number of communities and expected in/cross-community degrees.
+func NewCommunityGraph(n, communities int, degIn, degOut float64, seed uint64) *Graph {
+	return gen.SBM(n, communities, degIn, degOut, seed)
+}
+
+// NewUniformGraph generates a directed Erdős–Rényi G(n, m) graph.
+func NewUniformGraph(n, m int, seed uint64) *Graph {
+	return gen.ErdosRenyi(n, m, seed)
+}
+
+// NewGridGraph returns a rows×cols bidirectional mesh, handy for
+// experimenting with bandwidth-reducing orderings.
+func NewGridGraph(rows, cols int) *Graph { return gen.Grid(rows, cols) }
+
+// NewSmallWorldGraph generates a Watts–Strogatz small-world graph: a
+// ring lattice with k clockwise links per vertex, each rewired to a
+// random target with probability beta. beta dials the original
+// order's intrinsic locality from perfect (0) to none (1).
+func NewSmallWorldGraph(n, k int, beta float64, seed uint64) *Graph {
+	return gen.WattsStrogatz(n, k, beta, seed)
+}
+
+// NewKroneckerGraph generates a stochastic Kronecker graph with
+// 2^scale vertices and about edgeFactor·2^scale edges using the
+// default skew initiator.
+func NewKroneckerGraph(scale, edgeFactor int, seed uint64) *Graph {
+	return gen.Kronecker(scale, edgeFactor, gen.DefaultKronecker, seed)
+}

@@ -1,0 +1,3 @@
+module gorder
+
+go 1.22

@@ -1,0 +1,414 @@
+package algos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gorder/internal/gen"
+	"gorder/internal/graph"
+	"gorder/internal/order"
+)
+
+func randGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{From: graph.NodeID(rng.Intn(n)), To: graph.NodeID(rng.Intn(n))}
+	}
+	return graph.FromEdgesDedup(n, edges)
+}
+
+func TestNeighbourQuery(t *testing.T) {
+	// 0 -> {1, 2}; outdeg(1)=1 (1->2), outdeg(2)=0.
+	g := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2}})
+	q := NeighbourQuery(g)
+	want := []int64{1, 0, 0}
+	for i := range want {
+		if q[i] != want[i] {
+			t.Fatalf("NQ = %v, want %v", q, want)
+		}
+	}
+}
+
+func TestBFSFromDistances(t *testing.T) {
+	// 0 -> 1 -> 2, 0 -> 3; 4 unreachable.
+	g := graph.FromEdges(5, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 0, To: 3}})
+	dist, reached := BFSFrom(g, 0)
+	want := []int32{0, 1, 2, 1, Unreached}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Fatalf("dist = %v, want %v", dist, want)
+		}
+	}
+	if reached != 4 {
+		t.Errorf("reached = %d, want 4", reached)
+	}
+}
+
+func TestBFSAllCoversEverything(t *testing.T) {
+	g := graph.FromEdges(5, []graph.Edge{{From: 0, To: 1}, {From: 3, To: 4}})
+	seq := BFSAll(g)
+	if len(seq) != 5 {
+		t.Fatalf("BFSAll visited %d vertices, want 5", len(seq))
+	}
+	seen := make([]bool, 5)
+	for _, v := range seq {
+		if seen[v] {
+			t.Fatal("vertex visited twice")
+		}
+		seen[v] = true
+	}
+}
+
+func TestDFSAllPreorder(t *testing.T) {
+	// 0 -> {1, 3}, 1 -> {2}: preorder 0,1,2,3.
+	g := graph.FromEdges(4, []graph.Edge{{From: 0, To: 1}, {From: 0, To: 3}, {From: 1, To: 2}})
+	seq := DFSAll(g)
+	want := []graph.NodeID{0, 1, 2, 3}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("DFS = %v, want %v", seq, want)
+		}
+	}
+}
+
+// kosaraju is the reference SCC implementation for cross-checking.
+func kosaraju(g *graph.Graph) []int32 {
+	n := g.NumNodes()
+	visited := make([]bool, n)
+	var finish []graph.NodeID
+	var stack []graph.NodeID
+	// First pass: record finish order with an explicit post-order DFS.
+	state := make([]int, n) // adjacency cursor
+	for s := 0; s < n; s++ {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		stack = append(stack[:0], graph.NodeID(s))
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			adj := g.OutNeighbors(u)
+			if state[u] < len(adj) {
+				v := adj[state[u]]
+				state[u]++
+				if !visited[v] {
+					visited[v] = true
+					stack = append(stack, v)
+				}
+				continue
+			}
+			finish = append(finish, u)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	// Second pass on the transpose in reverse finish order.
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var c int32
+	for i := len(finish) - 1; i >= 0; i-- {
+		s := finish[i]
+		if comp[s] != -1 {
+			continue
+		}
+		stack = append(stack[:0], s)
+		comp[s] = c
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.InNeighbors(u) {
+				if comp[v] == -1 {
+					comp[v] = c
+					stack = append(stack, v)
+				}
+			}
+		}
+		c++
+	}
+	return comp
+}
+
+func sameComponents(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fwd := make(map[int32]int32)
+	bwd := make(map[int32]int32)
+	for i := range a {
+		if m, ok := fwd[a[i]]; ok && m != b[i] {
+			return false
+		}
+		if m, ok := bwd[b[i]]; ok && m != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		bwd[b[i]] = a[i]
+	}
+	return true
+}
+
+func TestSCCSmall(t *testing.T) {
+	// Cycle 0->1->2->0 plus tail 2->3.
+	g := graph.FromEdges(4, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0}, {From: 2, To: 3}})
+	comp, count := SCC(g)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] || comp[3] == comp[0] {
+		t.Fatalf("comp = %v", comp)
+	}
+}
+
+func TestQuickSCCMatchesKosaraju(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		g := randGraph(rng, n, rng.Intn(4*n))
+		comp, count := SCC(g)
+		ref := kosaraju(g)
+		maxRef := int32(-1)
+		for _, c := range ref {
+			if c > maxRef {
+				maxRef = c
+			}
+		}
+		return int32(count) == maxRef+1 && sameComponents(comp, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Bellman-Ford on unit weights must agree with BFS distances.
+func TestQuickBellmanFordMatchesBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		g := randGraph(rng, n, rng.Intn(4*n))
+		src := graph.NodeID(rng.Intn(n))
+		bf := BellmanFord(g, src)
+		bfs, _ := BFSFrom(g, src)
+		for i := range bf {
+			if bf[i] != bfs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := gen.BarabasiAlbert(500, 3, 1)
+	rank := PageRank(g, 30, DefaultDamping)
+	sum := 0.0
+	for _, r := range rank {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("rank sum = %v, want 1", sum)
+	}
+}
+
+func TestPageRankStar(t *testing.T) {
+	// All leaves point at the centre; the centre must dominate.
+	edges := make([]graph.Edge, 0, 9)
+	for i := 1; i < 10; i++ {
+		edges = append(edges, graph.Edge{From: graph.NodeID(i), To: 0})
+	}
+	g := graph.FromEdges(10, edges)
+	rank := PageRank(g, 50, DefaultDamping)
+	for i := 1; i < 10; i++ {
+		if rank[0] <= rank[i] {
+			t.Fatalf("centre rank %v not above leaf %v", rank[0], rank[i])
+		}
+	}
+}
+
+func TestPageRankEmpty(t *testing.T) {
+	if got := PageRank(graph.FromEdges(0, nil), 10, DefaultDamping); got != nil {
+		t.Errorf("PageRank(empty) = %v", got)
+	}
+}
+
+// PageRank is invariant under relabeling: rank(new id) == rank(old id).
+func TestQuickPageRankRelabelInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := randGraph(rng, n, rng.Intn(5*n))
+		perm := order.Random(n, uint64(seed))
+		h := g.Relabel(perm)
+		ra := PageRank(g, 20, DefaultDamping)
+		rb := PageRank(h, 20, DefaultDamping)
+		for u := 0; u < n; u++ {
+			if math.Abs(ra[u]-rb[perm[u]]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The greedy dominating set must actually dominate: every vertex is in
+// the set or out-neighbour-covered by a set member.
+func TestQuickDominatingSetDominates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		g := randGraph(rng, n, rng.Intn(4*n))
+		set := DominatingSet(g)
+		inSet := make([]bool, n)
+		covered := make([]bool, n)
+		for _, u := range set {
+			if inSet[u] {
+				return false // duplicates
+			}
+			inSet[u] = true
+			covered[u] = true
+			for _, v := range g.OutNeighbors(u) {
+				covered[v] = true
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !covered[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDominatingSetStar(t *testing.T) {
+	edges := make([]graph.Edge, 0, 9)
+	for i := 1; i < 10; i++ {
+		edges = append(edges, graph.Edge{From: 0, To: graph.NodeID(i)})
+	}
+	g := graph.FromEdges(10, edges)
+	set := DominatingSet(g)
+	if len(set) != 1 || set[0] != 0 {
+		t.Fatalf("DominatingSet(star) = %v, want [0]", set)
+	}
+}
+
+// naiveCores is the O(n^2) reference peeling for cross-checking.
+func naiveCores(g *graph.Graph) []int32 {
+	u := g.Undirected()
+	n := u.NumNodes()
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	for v := 0; v < n; v++ {
+		deg[v] = u.OutDegree(graph.NodeID(v))
+	}
+	core := make([]int32, n)
+	level := 0
+	for left := n; left > 0; left-- {
+		best := -1
+		for v := 0; v < n; v++ {
+			if !removed[v] && (best == -1 || deg[v] < deg[best]) {
+				best = v
+			}
+		}
+		if deg[best] > level {
+			level = deg[best]
+		}
+		core[best] = int32(level)
+		removed[best] = true
+		for _, w := range u.OutNeighbors(graph.NodeID(best)) {
+			if !removed[w] {
+				deg[w]--
+			}
+		}
+	}
+	return core
+}
+
+func TestQuickCoreNumbersMatchNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		g := randGraph(rng, n, rng.Intn(4*n))
+		got := CoreNumbers(g)
+		want := naiveCores(g)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoreNumbersClique(t *testing.T) {
+	var edges []graph.Edge
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i != j {
+				edges = append(edges, graph.Edge{From: graph.NodeID(i), To: graph.NodeID(j)})
+			}
+		}
+	}
+	g := graph.FromEdges(5, edges)
+	for _, c := range CoreNumbers(g) {
+		if c != 4 {
+			t.Fatalf("clique core numbers = %v, want all 4", CoreNumbers(g))
+		}
+	}
+}
+
+func TestDiameterRing(t *testing.T) {
+	// Directed ring of 10: max distance from any vertex is 9.
+	g := gen.Ring(10)
+	if d := Diameter(g, 5, 1); d != 9 {
+		t.Errorf("ring diameter = %d, want 9", d)
+	}
+}
+
+func TestDiameterDeterministic(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 5)
+	if Diameter(g, 10, 7) != Diameter(g, 10, 7) {
+		t.Error("Diameter not deterministic in seed")
+	}
+}
+
+// All kernels produce relabel-consistent results: the visit structure
+// changes, but scalar invariants (SCC count, core multiset, diameter
+// upper bound via same sources is not comparable — use SCC/cores).
+func TestQuickKernelsRelabelInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := randGraph(rng, n, rng.Intn(5*n))
+		perm := order.Random(n, uint64(seed)+99)
+		h := g.Relabel(perm)
+		_, ca := SCC(g)
+		_, cb := SCC(h)
+		if ca != cb {
+			return false
+		}
+		coreA, coreB := CoreNumbers(g), CoreNumbers(h)
+		for u := 0; u < n; u++ {
+			if coreA[u] != coreB[perm[u]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

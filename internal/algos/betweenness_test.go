@@ -1,0 +1,164 @@
+package algos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gorder/internal/graph"
+	"gorder/internal/order"
+)
+
+// naiveBetweenness enumerates all shortest paths explicitly via
+// per-pair path counting — exponentially safer ground truth for tiny
+// graphs.
+func naiveBetweenness(g *graph.Graph) []float64 {
+	n := g.NumNodes()
+	bc := make([]float64, n)
+	for s := 0; s < n; s++ {
+		// BFS distances and path counts from s.
+		dist, _ := BFSFrom(g, graph.NodeID(s))
+		sigma := make([]float64, n)
+		sigma[s] = 1
+		// Process in distance order.
+		byDist := make([][]graph.NodeID, 0)
+		maxd := int32(0)
+		for _, d := range dist {
+			if d > maxd {
+				maxd = d
+			}
+		}
+		byDist = make([][]graph.NodeID, maxd+1)
+		for v := 0; v < n; v++ {
+			if dist[v] >= 0 {
+				byDist[dist[v]] = append(byDist[dist[v]], graph.NodeID(v))
+			}
+		}
+		for d := int32(0); d < maxd; d++ {
+			for _, v := range byDist[d] {
+				for _, w := range g.OutNeighbors(v) {
+					if dist[w] == d+1 {
+						sigma[w] += sigma[v]
+					}
+				}
+			}
+		}
+		// For every target t, walk dependencies: delta accumulation.
+		delta := make([]float64, n)
+		for d := maxd; d > 0; d-- {
+			for _, w := range byDist[d] {
+				for v := 0; v < n; v++ {
+					if dist[v] == d-1 && g.HasEdge(graph.NodeID(v), w) {
+						delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+					}
+				}
+				if int(w) != s {
+					bc[w] += delta[w]
+				}
+			}
+		}
+	}
+	return bc
+}
+
+func TestBetweennessPath(t *testing.T) {
+	// Path 0→1→2→3: interior vertices carry all pass-through paths.
+	g := graph.FromEdges(4, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}})
+	bc := BetweennessExact(g)
+	// Vertex 1 lies on paths 0→2, 0→3; vertex 2 on 0→3, 1→3.
+	if bc[1] != 2 || bc[2] != 2 {
+		t.Fatalf("bc = %v, want interior 2, 2", bc)
+	}
+	if bc[0] != 0 || bc[3] != 0 {
+		t.Fatalf("endpoints nonzero: %v", bc)
+	}
+}
+
+func TestBetweennessDiamondSplit(t *testing.T) {
+	// 0→{1,2}→3: two equal shortest paths, each middle vertex gets ½.
+	g := graph.FromEdges(4, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 3}, {From: 2, To: 3},
+	})
+	bc := BetweennessExact(g)
+	if math.Abs(bc[1]-0.5) > 1e-12 || math.Abs(bc[2]-0.5) > 1e-12 {
+		t.Fatalf("bc = %v, want 0.5 for both middles", bc)
+	}
+}
+
+func TestQuickBetweennessMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		g := randGraph(rng, n, rng.Intn(3*n))
+		got := BetweennessExact(g)
+		want := naiveBetweenness(g)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Betweenness is relabel-equivariant.
+func TestQuickBetweennessRelabelInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := randGraph(rng, n, rng.Intn(4*n))
+		perm := order.Random(n, uint64(seed))
+		h := g.Relabel(perm)
+		a := BetweennessExact(g)
+		b := BetweennessExact(h)
+		for u := 0; u < n; u++ {
+			if math.Abs(a[u]-b[perm[u]]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBetweennessSampledFallsBackToExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randGraph(rng, 12, 40)
+	exact := BetweennessExact(g)
+	all := Betweenness(g, 100, 1) // samples >= n → exact
+	for i := range exact {
+		if math.Abs(exact[i]-all[i]) > 1e-9 {
+			t.Fatal("samples >= n did not reduce to exact")
+		}
+	}
+}
+
+func TestBetweennessSampledReasonable(t *testing.T) {
+	// On a star all pass-through centrality is at the hub; sampling
+	// must still rank the hub first.
+	var edges []graph.Edge
+	for i := 1; i <= 20; i++ {
+		edges = append(edges,
+			graph.Edge{From: graph.NodeID(i), To: 0},
+			graph.Edge{From: 0, To: graph.NodeID(i)})
+	}
+	g := graph.FromEdges(21, edges)
+	bc := Betweenness(g, 5, 3)
+	for v := 1; v <= 20; v++ {
+		if bc[v] > bc[0] {
+			t.Fatalf("leaf %d outranks hub: %v > %v", v, bc[v], bc[0])
+		}
+	}
+}
+
+func TestBetweennessEmpty(t *testing.T) {
+	if bc := Betweenness(graph.FromEdges(0, nil), 3, 1); len(bc) != 0 {
+		t.Error("empty graph mishandled")
+	}
+}

@@ -1,0 +1,78 @@
+package algos
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gorder/internal/gen"
+	"gorder/internal/graph"
+)
+
+// DOBFS must compute exactly the distances plain BFS computes.
+func TestQuickDOBFSMatchesBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		g := randGraph(rng, n, rng.Intn(6*n))
+		src := graph.NodeID(rng.Intn(n))
+		a, ra := BFSFrom(g, src)
+		b, rb := DOBFS(g, src)
+		if ra != rb {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A dense well-connected graph drives the bottom-up branch; the
+// distances must still match.
+func TestDOBFSBottomUpPath(t *testing.T) {
+	g := gen.ErdosRenyi(300, 300*40, 7) // avg degree ≈ 40: frontier blows up fast
+	a, ra := BFSFrom(g, 0)
+	b, rb := DOBFS(g, 0)
+	if ra != rb {
+		t.Fatalf("reached %d vs %d", ra, rb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("dist[%d] = %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Sanity: the graph is dense enough that most vertices sit within
+	// 2 hops, so the bottom-up condition (frontier edges > unexplored
+	// edges / alpha and frontier > n/beta) actually triggered.
+	twoHop := 0
+	for _, d := range a {
+		if d >= 0 && d <= 2 {
+			twoHop++
+		}
+	}
+	if twoHop < 250 {
+		t.Skip("graph unexpectedly sparse; bottom-up branch may not have run")
+	}
+}
+
+func TestDOBFSUnreachable(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{From: 0, To: 1}})
+	dist, reached := DOBFS(g, 0)
+	if reached != 2 || dist[2] != Unreached || dist[3] != Unreached {
+		t.Fatalf("dist = %v reached = %d", dist, reached)
+	}
+}
+
+func TestDOBFSSingleton(t *testing.T) {
+	g := graph.FromEdges(1, nil)
+	dist, reached := DOBFS(g, 0)
+	if reached != 1 || dist[0] != 0 {
+		t.Fatalf("singleton: %v %d", dist, reached)
+	}
+}

@@ -1,0 +1,214 @@
+package algos
+
+import (
+	"gorder/internal/graph"
+)
+
+// Extra kernels beyond the paper's nine: the most common remaining
+// workloads a graph-processing library is expected to ship. They use
+// the same CSR substrate, benefit from vertex orderings the same way,
+// and have traced variants (extra_traced.go) for the cache
+// experiments.
+
+// WCC computes weakly connected components (edge direction ignored)
+// with a union-find over the out-edges, using union by size and path
+// halving. It returns dense component IDs (numbered by smallest
+// member) and the component count.
+func WCC(g *graph.Graph) (comp []int32, count int) {
+	n := g.NumNodes()
+	parent := make([]int32, n)
+	size := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+		size[i] = 1
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if size[ra] < size[rb] {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+		size[ra] += size[rb]
+	}
+	g.Edges(func(u, v graph.NodeID) bool {
+		union(int32(u), int32(v))
+		return true
+	})
+	comp = make([]int32, n)
+	remap := make(map[int32]int32, 16)
+	for v := 0; v < n; v++ {
+		root := find(int32(v))
+		id, ok := remap[root]
+		if !ok {
+			id = int32(count)
+			remap[root] = id
+			count++
+		}
+		comp[v] = id
+	}
+	return comp, count
+}
+
+// TriangleCount counts the triangles of the undirected view of g with
+// the forward (compact-forward) algorithm: each triangle {a, b, c}
+// with a < b < c in degeneracy-friendly rank order is counted once at
+// its smallest-rank vertex via sorted-adjacency intersection.
+func TriangleCount(g *graph.Graph) int64 {
+	u := g.Undirected()
+	n := u.NumNodes()
+	// Rank by degree ascending so high-degree vertices come last and
+	// each intersection runs over the two smaller forward lists.
+	rank := make([]int32, n)
+	order := make([]graph.NodeID, n)
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	sortByDegree(u, order)
+	for pos, v := range order {
+		rank[v] = int32(pos)
+	}
+	// forward[v] = neighbours of v with higher rank, in rank order.
+	forward := make([][]graph.NodeID, n)
+	for v := 0; v < n; v++ {
+		for _, w := range u.OutNeighbors(graph.NodeID(v)) {
+			if rank[w] > rank[v] {
+				forward[v] = append(forward[v], w)
+			}
+		}
+		sortByRank(rank, forward[v])
+	}
+	var triangles int64
+	for v := 0; v < n; v++ {
+		fv := forward[v]
+		for _, w := range fv {
+			triangles += intersectByRank(rank, fv, forward[w])
+		}
+	}
+	return triangles
+}
+
+func sortByDegree(g *graph.Graph, order []graph.NodeID) {
+	// Counting sort by degree keeps this O(n + maxdeg) and stable.
+	maxd := 0
+	for _, v := range order {
+		if d := g.OutDegree(v); d > maxd {
+			maxd = d
+		}
+	}
+	buckets := make([][]graph.NodeID, maxd+1)
+	for _, v := range order {
+		d := g.OutDegree(v)
+		buckets[d] = append(buckets[d], v)
+	}
+	i := 0
+	for _, b := range buckets {
+		for _, v := range b {
+			order[i] = v
+			i++
+		}
+	}
+}
+
+func sortByRank(rank []int32, list []graph.NodeID) {
+	// Insertion sort: forward lists are short on sparse graphs.
+	for i := 1; i < len(list); i++ {
+		v := list[i]
+		j := i - 1
+		for j >= 0 && rank[list[j]] > rank[v] {
+			list[j+1] = list[j]
+			j--
+		}
+		list[j+1] = v
+	}
+}
+
+func intersectByRank(rank []int32, a, b []graph.NodeID) int64 {
+	var count int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		ra, rb := rank[a[i]], rank[b[j]]
+		switch {
+		case ra < rb:
+			i++
+		case ra > rb:
+			j++
+		default:
+			count++
+			i++
+			j++
+		}
+	}
+	return count
+}
+
+// DefaultLabelPropIters bounds the label-propagation sweeps; sparse
+// social graphs converge in a handful.
+const DefaultLabelPropIters = 20
+
+// LabelPropagation runs deterministic asynchronous label propagation
+// for community detection over the undirected view: vertices sweep in
+// ID order adopting the most frequent label among their neighbours
+// (lowest label on ties), until a sweep changes nothing or maxIters
+// is hit. Labels are then compacted to dense community IDs.
+func LabelPropagation(g *graph.Graph, maxIters int) (labels []int32, communities int) {
+	u := g.Undirected()
+	n := u.NumNodes()
+	if maxIters <= 0 {
+		maxIters = DefaultLabelPropIters
+	}
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = int32(i)
+	}
+	counts := make(map[int32]int, 16)
+	for it := 0; it < maxIters; it++ {
+		changed := false
+		for v := 0; v < n; v++ {
+			adj := u.OutNeighbors(graph.NodeID(v))
+			if len(adj) == 0 {
+				continue
+			}
+			for k := range counts {
+				delete(counts, k)
+			}
+			for _, w := range adj {
+				counts[labels[w]]++
+			}
+			best, bestCount := labels[v], 0
+			for l, c := range counts {
+				if c > bestCount || (c == bestCount && l < best) {
+					best, bestCount = l, c
+				}
+			}
+			if best != labels[v] {
+				labels[v] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	remap := make(map[int32]int32, 16)
+	for v := 0; v < n; v++ {
+		id, ok := remap[labels[v]]
+		if !ok {
+			id = int32(communities)
+			remap[labels[v]] = id
+			communities++
+		}
+		labels[v] = id
+	}
+	return labels, communities
+}

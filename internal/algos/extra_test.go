@@ -1,0 +1,226 @@
+package algos
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gorder/internal/cache"
+	"gorder/internal/gen"
+	"gorder/internal/graph"
+	"gorder/internal/mem"
+	"gorder/internal/order"
+)
+
+// bfsComponents is the reference WCC: BFS over the undirected view.
+func bfsComponents(g *graph.Graph) []int32 {
+	u := g.Undirected()
+	n := u.NumNodes()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var c int32
+	var queue []graph.NodeID
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = c
+		queue = append(queue[:0], graph.NodeID(s))
+		for head := 0; head < len(queue); head++ {
+			for _, w := range u.OutNeighbors(queue[head]) {
+				if comp[w] == -1 {
+					comp[w] = c
+					queue = append(queue, w)
+				}
+			}
+		}
+		c++
+	}
+	return comp
+}
+
+func TestWCCSmall(t *testing.T) {
+	// Two components: {0,1,2} (via directed edges) and {3,4}.
+	g := graph.FromEdges(5, []graph.Edge{{From: 0, To: 1}, {From: 2, To: 1}, {From: 4, To: 3}})
+	comp, count := WCC(g)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] || comp[3] != comp[4] || comp[0] == comp[3] {
+		t.Fatalf("comp = %v", comp)
+	}
+}
+
+func TestQuickWCCMatchesBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		g := randGraph(rng, n, rng.Intn(3*n))
+		got, count := WCC(g)
+		want := bfsComponents(g)
+		maxWant := int32(-1)
+		for _, c := range want {
+			if c > maxWant {
+				maxWant = c
+			}
+		}
+		if int32(count) != maxWant+1 {
+			return false
+		}
+		return sameComponents(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// naiveTriangles enumerates all vertex triples — the ground truth.
+func naiveTriangles(g *graph.Graph) int64 {
+	u := g.Undirected()
+	n := u.NumNodes()
+	var count int64
+	for a := graph.NodeID(0); int(a) < n; a++ {
+		for b := a + 1; int(b) < n; b++ {
+			if !u.HasEdge(a, b) {
+				continue
+			}
+			for c := b + 1; int(c) < n; c++ {
+				if u.HasEdge(a, c) && u.HasEdge(b, c) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestTriangleCountSmall(t *testing.T) {
+	// A triangle plus a pendant edge.
+	g := graph.FromEdges(4, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0}, {From: 2, To: 3}})
+	if got := TriangleCount(g); got != 1 {
+		t.Fatalf("triangles = %d, want 1", got)
+	}
+}
+
+func TestTriangleCountClique(t *testing.T) {
+	var edges []graph.Edge
+	const k = 6
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			edges = append(edges, graph.Edge{From: graph.NodeID(i), To: graph.NodeID(j)})
+		}
+	}
+	g := graph.FromEdges(k, edges)
+	want := int64(k * (k - 1) * (k - 2) / 6)
+	if got := TriangleCount(g); got != want {
+		t.Fatalf("K%d triangles = %d, want %d", k, got, want)
+	}
+}
+
+func TestQuickTriangleCountMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(25)
+		g := randGraph(rng, n, rng.Intn(4*n))
+		return TriangleCount(g) == naiveTriangles(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Triangle count is relabel-invariant.
+func TestQuickTriangleCountRelabelInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := randGraph(rng, n, rng.Intn(5*n))
+		h := g.Relabel(order.Random(n, uint64(seed)))
+		return TriangleCount(g) == TriangleCount(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelPropagationTwoCliques(t *testing.T) {
+	// Two 4-cliques joined by one edge: two communities expected.
+	var edges []graph.Edge
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges,
+				graph.Edge{From: graph.NodeID(i), To: graph.NodeID(j)},
+				graph.Edge{From: graph.NodeID(i + 4), To: graph.NodeID(j + 4)})
+		}
+	}
+	edges = append(edges, graph.Edge{From: 3, To: 4})
+	g := graph.FromEdges(8, edges)
+	labels, count := LabelPropagation(g, 0)
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Errorf("first clique split: %v", labels)
+	}
+	if labels[5] != labels[6] || labels[6] != labels[7] {
+		t.Errorf("second clique split: %v", labels)
+	}
+	if count < 1 || count > 3 {
+		t.Errorf("communities = %d, want a small number", count)
+	}
+}
+
+func TestLabelPropagationDeterministic(t *testing.T) {
+	g := gen.SBM(400, 8, 10, 1, 3)
+	a, ca := LabelPropagation(g, 0)
+	b, cb := LabelPropagation(g, 0)
+	if ca != cb {
+		t.Fatal("community counts differ across runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("labels differ across runs")
+		}
+	}
+}
+
+func TestLabelPropagationIsolated(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1}})
+	labels, count := LabelPropagation(g, 0)
+	if count != 2 { // {0,1} and {2}
+		t.Fatalf("communities = %d, want 2 (labels %v)", count, labels)
+	}
+}
+
+// Traced extra kernels must agree with their native counterparts.
+func TestQuickExtraTracedMatchesNative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		g := randGraph(rng, n, rng.Intn(4*n))
+		s := mem.NewSpace(cache.New(cache.SmallMachine()))
+		tg := NewTracedGraph(g, s)
+
+		wc, wn := WCC(g)
+		tc, tn := TracedWCC(g, tg, s)
+		if wn != tn || !sameComponents(wc, tc) {
+			return false
+		}
+		if TriangleCount(g) != TracedTriangleCount(g, s) {
+			return false
+		}
+		la, ca := LabelPropagation(g, 7)
+		lb, cb := TracedLabelPropagation(g, s, 7)
+		if ca != cb {
+			return false
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+package algos
+
+import (
+	"gorder/internal/graph"
+	"gorder/internal/mem"
+)
+
+// TracedWCC mirrors WCC through the simulator. Union-find is a
+// pointer-chasing workload: the parent-array walk is exactly the kind
+// of access pattern vertex orderings help, since a component's
+// representatives get nearby IDs under a locality order.
+func TracedWCC(g *graph.Graph, t *TracedGraph, s *mem.Space) (comp []int32, count int) {
+	n := t.n
+	parent := s.NewI32(n)
+	size := s.NewI32(n)
+	for i := 0; i < n; i++ {
+		parent.Set(i, int32(i))
+		size.Set(i, 1)
+	}
+	find := func(x int32) int32 {
+		for {
+			p := parent.Get(int(x))
+			if p == x {
+				return x
+			}
+			gp := parent.Get(int(p))
+			parent.Set(int(x), gp) // path halving
+			x = gp
+		}
+	}
+	for u := 0; u < n; u++ {
+		lo, hi := t.outRange(u)
+		for pos := lo; pos < hi; pos++ {
+			v := int32(t.outAdj.Get(int(pos)))
+			ra, rb := find(int32(u)), find(v)
+			if ra == rb {
+				continue
+			}
+			if size.Get(int(ra)) < size.Get(int(rb)) {
+				ra, rb = rb, ra
+			}
+			parent.Set(int(rb), ra)
+			size.Set(int(ra), size.Get(int(ra))+size.Get(int(rb)))
+		}
+	}
+	comp = make([]int32, n)
+	remap := make(map[int32]int32, 16)
+	for v := 0; v < n; v++ {
+		root := find(int32(v))
+		id, ok := remap[root]
+		if !ok {
+			id = int32(count)
+			remap[root] = id
+			count++
+		}
+		comp[v] = id
+	}
+	return comp, count
+}
+
+// TracedTriangleCount mirrors TriangleCount. The ranking and forward-
+// list construction are order-invariant preparation and run natively;
+// the counting phase — the intersections that dominate the runtime —
+// is traced over a flattened forward-CSR layout, matching how an
+// optimised implementation would store it.
+func TracedTriangleCount(g *graph.Graph, s *mem.Space) int64 {
+	u := g.Undirected()
+	n := u.NumNodes()
+	rankNative := make([]int32, n)
+	order := make([]graph.NodeID, n)
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	sortByDegree(u, order)
+	for pos, v := range order {
+		rankNative[v] = int32(pos)
+	}
+	// Build the flattened forward CSR natively.
+	fIdx := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		for _, w := range u.OutNeighbors(graph.NodeID(v)) {
+			if rankNative[w] > rankNative[graph.NodeID(v)] {
+				fIdx[v+1]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		fIdx[i+1] += fIdx[i]
+	}
+	fAdj := make([]graph.NodeID, fIdx[n])
+	cursor := append([]int64(nil), fIdx[:n]...)
+	for v := 0; v < n; v++ {
+		var lst []graph.NodeID
+		for _, w := range u.OutNeighbors(graph.NodeID(v)) {
+			if rankNative[w] > rankNative[graph.NodeID(v)] {
+				lst = append(lst, w)
+			}
+		}
+		sortByRank(rankNative, lst)
+		copy(fAdj[cursor[v]:], lst)
+	}
+	// Traced counting phase.
+	idx := s.WrapI64(fIdx)
+	adj := s.WrapU32(fAdj)
+	rank := s.NewI32(n)
+	for i := 0; i < n; i++ {
+		rank.Set(i, rankNative[i])
+	}
+	var triangles int64
+	for v := 0; v < n; v++ {
+		vlo, vhi := idx.Get(v), idx.Get(v+1)
+		for p := vlo; p < vhi; p++ {
+			w := int(adj.Get(int(p)))
+			wlo, whi := idx.Get(w), idx.Get(w+1)
+			i, j := vlo, wlo
+			for i < vhi && j < whi {
+				ra := rank.Get(int(adj.Get(int(i))))
+				rb := rank.Get(int(adj.Get(int(j))))
+				switch {
+				case ra < rb:
+					i++
+				case ra > rb:
+					j++
+				default:
+					triangles++
+					i++
+					j++
+				}
+			}
+		}
+	}
+	return triangles
+}
+
+// TracedLabelPropagation mirrors LabelPropagation. Labels are traced;
+// the per-vertex frequency map is transient working state and stays
+// native (its size is a vertex's degree, identical across orderings).
+func TracedLabelPropagation(g *graph.Graph, s *mem.Space, maxIters int) (labelsOut []int32, communities int) {
+	u := g.Undirected()
+	tu := NewTracedGraph(u, s)
+	n := tu.n
+	if maxIters <= 0 {
+		maxIters = DefaultLabelPropIters
+	}
+	labels := s.NewI32(n)
+	for i := 0; i < n; i++ {
+		labels.Set(i, int32(i))
+	}
+	counts := make(map[int32]int, 16)
+	for it := 0; it < maxIters; it++ {
+		changed := false
+		for v := 0; v < n; v++ {
+			lo, hi := tu.outRange(v)
+			if lo == hi {
+				continue
+			}
+			for k := range counts {
+				delete(counts, k)
+			}
+			for p := lo; p < hi; p++ {
+				w := int(tu.outAdj.Get(int(p)))
+				counts[labels.Get(w)]++
+			}
+			cur := labels.Get(v)
+			best, bestCount := cur, 0
+			for l, c := range counts {
+				if c > bestCount || (c == bestCount && l < best) {
+					best, bestCount = l, c
+				}
+			}
+			if best != cur {
+				labels.Set(v, best)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	labelsOut = make([]int32, n)
+	remap := make(map[int32]int32, 16)
+	for v := 0; v < n; v++ {
+		l := labels.Get(v)
+		id, ok := remap[l]
+		if !ok {
+			id = int32(communities)
+			remap[l] = id
+			communities++
+		}
+		labelsOut[v] = id
+	}
+	return labelsOut, communities
+}

@@ -1,0 +1,420 @@
+package algos
+
+import (
+	"gorder/internal/bheap"
+	"gorder/internal/gen"
+	"gorder/internal/graph"
+	"gorder/internal/mem"
+)
+
+// TracedGraph is a CSR graph whose array accesses go through the
+// cache simulator. The underlying arrays alias the source graph — the
+// traced kernels see the same data at modelled addresses laid out the
+// way the native slices are.
+//
+// Tracing covers the data arrays the paper's perf counters would see
+// dominate: the CSR index/adjacency arrays and every per-vertex state
+// array of a kernel. Transient control state (loop counters, DFS call
+// frames) stays native, as it would live in registers or the stack's
+// permanently-hot cache lines.
+type TracedGraph struct {
+	n      int
+	outIdx mem.I64
+	outAdj mem.U32
+	inIdx  mem.I64
+	inAdj  mem.U32
+}
+
+// NewTracedGraph registers g's CSR arrays in the address space.
+func NewTracedGraph(g *graph.Graph, s *mem.Space) *TracedGraph {
+	return &TracedGraph{
+		n:      g.NumNodes(),
+		outIdx: s.WrapI64(g.OutIndex()),
+		outAdj: s.WrapU32(g.OutAdjacency()),
+		inIdx:  s.WrapI64(g.InIndex()),
+		inAdj:  s.WrapU32(g.InAdjacency()),
+	}
+}
+
+// NumNodes returns the vertex count.
+func (t *TracedGraph) NumNodes() int { return t.n }
+
+// outRange loads the CSR bounds of u's out-neighbour list.
+func (t *TracedGraph) outRange(u int) (int64, int64) {
+	return t.outIdx.Get(u), t.outIdx.Get(u + 1)
+}
+
+func (t *TracedGraph) inRange(u int) (int64, int64) {
+	return t.inIdx.Get(u), t.inIdx.Get(u + 1)
+}
+
+// TracedNeighbourQuery mirrors NeighbourQuery through the simulator.
+func TracedNeighbourQuery(t *TracedGraph, s *mem.Space) []int64 {
+	q := s.NewI64(t.n)
+	for u := 0; u < t.n; u++ {
+		lo, hi := t.outRange(u)
+		var sum int64
+		for p := lo; p < hi; p++ {
+			v := int(t.outAdj.Get(int(p)))
+			vlo, vhi := t.outRange(v)
+			sum += vhi - vlo
+		}
+		q.Set(u, sum)
+	}
+	out := make([]int64, t.n)
+	for i := range out {
+		out[i] = q.Get(i)
+	}
+	return out
+}
+
+// TracedBFSAll mirrors BFSAll through the simulator.
+func TracedBFSAll(t *TracedGraph, s *mem.Space) []graph.NodeID {
+	visited := s.NewBool(t.n)
+	queue := s.NewU32(t.n)
+	qlen := 0
+	seq := make([]graph.NodeID, 0, t.n)
+	for src := 0; src < t.n; src++ {
+		if visited.Get(src) {
+			continue
+		}
+		visited.Set(src, true)
+		queue.Set(qlen, uint32(src))
+		qlen++
+		for head := len(seq); head < qlen; head++ {
+			u := int(queue.Get(head))
+			seq = append(seq, graph.NodeID(u))
+			lo, hi := t.outRange(u)
+			for p := lo; p < hi; p++ {
+				v := int(t.outAdj.Get(int(p)))
+				if !visited.Get(v) {
+					visited.Set(v, true)
+					queue.Set(qlen, uint32(v))
+					qlen++
+				}
+			}
+		}
+	}
+	return seq
+}
+
+// TracedDFSAll mirrors DFSAll through the simulator.
+func TracedDFSAll(t *TracedGraph, s *mem.Space) []graph.NodeID {
+	visited := s.NewBool(t.n)
+	stack := s.NewU32(t.n + 1)
+	seq := make([]graph.NodeID, 0, t.n)
+	for src := 0; src < t.n; src++ {
+		if visited.Get(src) {
+			continue
+		}
+		top := 0
+		stack.Set(top, uint32(src))
+		top++
+		for top > 0 {
+			top--
+			u := int(stack.Get(top))
+			if visited.Get(u) {
+				continue
+			}
+			visited.Set(u, true)
+			seq = append(seq, graph.NodeID(u))
+			lo, hi := t.outRange(u)
+			for p := hi - 1; p >= lo; p-- {
+				v := int(t.outAdj.Get(int(p)))
+				if !visited.Get(v) {
+					if top >= stack.Len() {
+						grown := s.NewU32(stack.Len() * 2)
+						for i := 0; i < top; i++ {
+							grown.Set(i, stack.Get(i))
+						}
+						stack = grown
+					}
+					stack.Set(top, uint32(v))
+					top++
+				}
+			}
+		}
+	}
+	return seq
+}
+
+// TracedSCC mirrors SCC (iterative Tarjan) through the simulator.
+func TracedSCC(t *TracedGraph, s *mem.Space) (comp []int32, count int) {
+	n := t.n
+	const none = int32(-1)
+	compA := s.NewI32(n)
+	index := s.NewI32(n)
+	lowlink := s.NewI32(n)
+	onStack := s.NewBool(n)
+	index.Fill(none)
+	compA.Fill(none)
+	tstack := s.NewU32(n)
+	tlen := 0
+	var nextIndex int32
+	type frame struct {
+		v   int
+		pos int64
+		end int64
+	}
+	var frames []frame
+	for src := 0; src < n; src++ {
+		if index.Get(src) != none {
+			continue
+		}
+		lo, hi := t.outRange(src)
+		frames = append(frames[:0], frame{src, lo, hi})
+		index.Set(src, nextIndex)
+		lowlink.Set(src, nextIndex)
+		nextIndex++
+		tstack.Set(tlen, uint32(src))
+		tlen++
+		onStack.Set(src, true)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			advanced := false
+			for f.pos < f.end {
+				w := int(t.outAdj.Get(int(f.pos)))
+				f.pos++
+				if index.Get(w) == none {
+					index.Set(w, nextIndex)
+					lowlink.Set(w, nextIndex)
+					nextIndex++
+					tstack.Set(tlen, uint32(w))
+					tlen++
+					onStack.Set(w, true)
+					wlo, whi := t.outRange(w)
+					frames = append(frames, frame{w, wlo, whi})
+					advanced = true
+					break
+				}
+				if onStack.Get(w) && index.Get(w) < lowlink.Get(f.v) {
+					lowlink.Set(f.v, index.Get(w))
+				}
+			}
+			if advanced {
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if lowlink.Get(v) < lowlink.Get(p.v) {
+					lowlink.Set(p.v, lowlink.Get(v))
+				}
+			}
+			if lowlink.Get(v) == index.Get(v) {
+				for {
+					w := int(tstack.Get(tlen - 1))
+					tlen--
+					onStack.Set(w, false)
+					compA.Set(w, int32(count))
+					if w == v {
+						break
+					}
+				}
+				count++
+			}
+		}
+	}
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = compA.Get(i)
+	}
+	return comp, count
+}
+
+// TracedBellmanFord mirrors BellmanFord through the simulator.
+func TracedBellmanFord(t *TracedGraph, s *mem.Space, src graph.NodeID) []int32 {
+	dist := s.NewI32(t.n)
+	tracedBellmanFordInto(t, dist, src)
+	out := make([]int32, t.n)
+	for i := range out {
+		out[i] = dist.Get(i)
+	}
+	return out
+}
+
+func tracedBellmanFordInto(t *TracedGraph, dist mem.I32, src graph.NodeID) {
+	dist.Fill(Unreached)
+	dist.Set(int(src), 0)
+	for {
+		changed := false
+		for u := 0; u < t.n; u++ {
+			du := dist.Get(u)
+			if du == Unreached {
+				continue
+			}
+			lo, hi := t.outRange(u)
+			for p := lo; p < hi; p++ {
+				v := int(t.outAdj.Get(int(p)))
+				dv := dist.Get(v)
+				if dv == Unreached || du+1 < dv {
+					dist.Set(v, du+1)
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// TracedPageRank mirrors PageRank (pull form) through the simulator.
+func TracedPageRank(t *TracedGraph, s *mem.Space, iters int, damping float64) []float64 {
+	n := t.n
+	if n == 0 {
+		return nil
+	}
+	rank := s.NewF64(n)
+	next := s.NewF64(n)
+	contrib := s.NewF64(n)
+	for i := 0; i < n; i++ {
+		rank.Set(i, 1/float64(n))
+	}
+	for it := 0; it < iters; it++ {
+		dangling := 0.0
+		for u := 0; u < n; u++ {
+			lo, hi := t.outRange(u)
+			if d := hi - lo; d > 0 {
+				contrib.Set(u, rank.Get(u)/float64(d))
+			} else {
+				contrib.Set(u, 0)
+				dangling += rank.Get(u)
+			}
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		for v := 0; v < n; v++ {
+			lo, hi := t.inRange(v)
+			sum := 0.0
+			for p := lo; p < hi; p++ {
+				u := int(t.inAdj.Get(int(p)))
+				sum += contrib.Get(u)
+			}
+			next.Set(v, base+damping*sum)
+		}
+		rank, next = next, rank
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rank.Get(i)
+	}
+	return out
+}
+
+// TracedDominatingSet mirrors DominatingSet. The per-vertex state
+// (gain, covered) and all graph accesses are traced; the priority
+// heap's internal reorganisation is not (its compact arrays are hot
+// and identical across orderings, so it adds only constant noise).
+func TracedDominatingSet(t *TracedGraph, s *mem.Space) []graph.NodeID {
+	n := t.n
+	if n == 0 {
+		return nil
+	}
+	covered := s.NewBool(n)
+	gain := s.NewI64(n)
+	h := bheap.Max(n)
+	enc := func(u int, g int64) int64 { return g*int64(n) - int64(u) }
+	for u := 0; u < n; u++ {
+		lo, hi := t.outRange(u)
+		g := hi - lo + 1
+		gain.Set(u, g)
+		h.Push(u, enc(u, g))
+	}
+	var set []graph.NodeID
+	remaining := n
+	cover := func(v int) {
+		if covered.Get(v) {
+			return
+		}
+		covered.Set(v, true)
+		remaining--
+		if h.Contains(v) {
+			gain.Set(v, gain.Get(v)-1)
+			h.Update(v, enc(v, gain.Get(v)))
+		}
+		lo, hi := t.inRange(v)
+		for p := lo; p < hi; p++ {
+			x := int(t.inAdj.Get(int(p)))
+			if h.Contains(x) {
+				gain.Set(x, gain.Get(x)-1)
+				h.Update(x, enc(x, gain.Get(x)))
+			}
+		}
+	}
+	for remaining > 0 && h.Len() > 0 {
+		u, _ := h.Pop()
+		if gain.Get(u) <= 0 {
+			continue
+		}
+		set = append(set, graph.NodeID(u))
+		cover(u)
+		lo, hi := t.outRange(u)
+		for p := lo; p < hi; p++ {
+			cover(int(t.outAdj.Get(int(p))))
+		}
+	}
+	return set
+}
+
+// TracedCoreNumbers mirrors CoreNumbers. The undirected view is built
+// natively (it is input preparation, not the measured kernel) and its
+// CSR arrays are registered in the space; degrees and core numbers are
+// traced; the heap is native for the same reason as in
+// TracedDominatingSet.
+func TracedCoreNumbers(g *graph.Graph, s *mem.Space) []int32 {
+	u := g.Undirected()
+	tu := NewTracedGraph(u, s)
+	n := tu.n
+	core := s.NewI32(n)
+	deg := s.NewI64(n)
+	h := bheap.Min(n)
+	for v := 0; v < n; v++ {
+		lo, hi := tu.outRange(v)
+		deg.Set(v, hi-lo)
+		h.Push(v, hi-lo)
+	}
+	var level int64
+	for h.Len() > 0 {
+		v, d := h.Pop()
+		if d > level {
+			level = d
+		}
+		core.Set(v, int32(level))
+		lo, hi := tu.outRange(v)
+		for p := lo; p < hi; p++ {
+			w := int(tu.outAdj.Get(int(p)))
+			if h.Contains(w) && deg.Get(w) > d {
+				deg.Set(w, deg.Get(w)-1)
+				h.Update(w, deg.Get(w))
+			}
+		}
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = core.Get(i)
+	}
+	return out
+}
+
+// TracedDiameter mirrors Diameter: repeated traced SP runs from
+// seeded random sources (the same sources the native kernel picks for
+// the same seed), reusing one traced distance array.
+func TracedDiameter(t *TracedGraph, s *mem.Space, samples int, seed uint64) int32 {
+	if t.n == 0 || samples <= 0 {
+		return 0
+	}
+	rng := gen.NewRNG(seed)
+	dist := s.NewI32(t.n)
+	var diam int32
+	for i := 0; i < samples; i++ {
+		src := graph.NodeID(rng.Intn(t.n))
+		tracedBellmanFordInto(t, dist, src)
+		for v := 0; v < t.n; v++ {
+			if d := dist.Get(v); d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}

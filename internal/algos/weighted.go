@@ -1,0 +1,126 @@
+package algos
+
+import (
+	"gorder/internal/bheap"
+	"gorder/internal/gen"
+	"gorder/internal/graph"
+)
+
+// Weighted shortest paths: the paper's SP kernel is Bellman–Ford,
+// whose reason to exist is weighted edges; the library therefore
+// ships the weighted forms too. Weights live in a parallel array
+// aligned with the CSR out-adjacency (weights[i] belongs to
+// OutAdjacency()[i]), so a relabeled graph needs relabeled weights —
+// RandomWeights derives them from the edge's endpoints to stay
+// order-independent.
+
+// WeightedInfinity marks unreachable vertices in weighted distance
+// arrays.
+const WeightedInfinity = int64(-1)
+
+// RandomWeights returns per-edge weights in [1, maxWeight] aligned
+// with g's CSR edge order. Each weight is a hash of the edge's
+// endpoints and the seed, so the same logical edge gets the same
+// weight under any vertex relabeling of the *original* IDs — use it
+// on the graph you relabel *before* relabeling, or derive weights per
+// relabeled graph consistently from endpoint pairs.
+func RandomWeights(g *graph.Graph, maxWeight int32, seed uint64) []int32 {
+	if maxWeight < 1 {
+		maxWeight = 1
+	}
+	weights := make([]int32, 0, g.NumEdges())
+	g.Edges(func(u, v graph.NodeID) bool {
+		h := gen.NewRNG(seed ^ (uint64(u)<<32 | uint64(v)))
+		weights = append(weights, 1+int32(h.Intn(int(maxWeight))))
+		return true
+	})
+	return weights
+}
+
+// DijkstraWeighted computes single-source shortest paths over
+// non-negative edge weights with a binary-heap Dijkstra. weights must
+// align with g's CSR edge order; it panics on a length mismatch or a
+// negative weight.
+func DijkstraWeighted(g *graph.Graph, weights []int32, src graph.NodeID) []int64 {
+	n := g.NumNodes()
+	if int64(len(weights)) != g.NumEdges() {
+		panic("algos: weights length does not match edge count")
+	}
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = WeightedInfinity
+	}
+	h := bheap.Min(n)
+	dist[src] = 0
+	h.Push(int(src), 0)
+	outIdx := g.OutIndex()
+	outAdj := g.OutAdjacency()
+	for h.Len() > 0 {
+		u, du := h.Pop()
+		if du > dist[u] {
+			continue // stale (bheap.Update keeps it exact, but be safe)
+		}
+		for p := outIdx[u]; p < outIdx[u+1]; p++ {
+			w := weights[p]
+			if w < 0 {
+				panic("algos: negative weight in Dijkstra")
+			}
+			v := outAdj[p]
+			nd := du + int64(w)
+			if dist[v] == WeightedInfinity {
+				dist[v] = nd
+				h.Push(int(v), nd)
+			} else if nd < dist[v] {
+				dist[v] = nd
+				if h.Contains(int(v)) {
+					h.Update(int(v), nd)
+				} else {
+					h.Push(int(v), nd)
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// BellmanFordWeighted computes single-source shortest paths by
+// relaxation sweeps, exactly like the paper's unit-weight SP kernel
+// but over explicit weights. Negative weights are allowed as long as
+// no negative cycle is reachable; ok reports false if one is detected
+// (after n sweeps).
+func BellmanFordWeighted(g *graph.Graph, weights []int32, src graph.NodeID) (dist []int64, ok bool) {
+	n := g.NumNodes()
+	if int64(len(weights)) != g.NumEdges() {
+		panic("algos: weights length does not match edge count")
+	}
+	dist = make([]int64, n)
+	for i := range dist {
+		dist[i] = WeightedInfinity
+	}
+	dist[src] = 0
+	outIdx := g.OutIndex()
+	outAdj := g.OutAdjacency()
+	for sweep := 0; ; sweep++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			du := dist[u]
+			if du == WeightedInfinity {
+				continue
+			}
+			for p := outIdx[u]; p < outIdx[u+1]; p++ {
+				v := outAdj[p]
+				nd := du + int64(weights[p])
+				if dist[v] == WeightedInfinity || nd < dist[v] {
+					dist[v] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return dist, true
+		}
+		if sweep >= n {
+			return dist, false // negative cycle
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package algos
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gorder/internal/graph"
+)
+
+func unitWeights(g *graph.Graph) []int32 {
+	w := make([]int32, g.NumEdges())
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func TestDijkstraSmall(t *testing.T) {
+	// 0 -(1)-> 1 -(1)-> 2, and a heavier shortcut 0 -(5)-> 2.
+	g := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2}})
+	// CSR edge order for vertex 0 is (0,1), (0,2) then (1,2).
+	weights := []int32{1, 5, 1}
+	dist := DijkstraWeighted(g, weights, 0)
+	want := []int64{0, 1, 2}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Fatalf("dist = %v, want %v", dist, want)
+		}
+	}
+}
+
+func TestWeightedUnreachable(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1}})
+	d := DijkstraWeighted(g, unitWeights(g), 0)
+	if d[2] != WeightedInfinity {
+		t.Fatalf("unreachable distance = %d", d[2])
+	}
+	bf, ok := BellmanFordWeighted(g, unitWeights(g), 0)
+	if !ok || bf[2] != WeightedInfinity {
+		t.Fatalf("BF unreachable = %d ok=%v", bf[2], ok)
+	}
+}
+
+// On unit weights both weighted algorithms reduce to BFS.
+func TestQuickWeightedUnitMatchesBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		g := randGraph(rng, n, rng.Intn(5*n))
+		src := graph.NodeID(rng.Intn(n))
+		bfs, _ := BFSFrom(g, src)
+		w := unitWeights(g)
+		dj := DijkstraWeighted(g, w, src)
+		bf, ok := BellmanFordWeighted(g, w, src)
+		if !ok {
+			return false
+		}
+		for i := range bfs {
+			want := int64(bfs[i])
+			if bfs[i] == Unreached {
+				want = WeightedInfinity
+			}
+			if dj[i] != want || bf[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Dijkstra and Bellman–Ford agree on random positive weights.
+func TestQuickDijkstraMatchesBellmanFord(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		g := randGraph(rng, n, rng.Intn(5*n))
+		weights := make([]int32, g.NumEdges())
+		for i := range weights {
+			weights[i] = 1 + int32(rng.Intn(20))
+		}
+		src := graph.NodeID(rng.Intn(n))
+		dj := DijkstraWeighted(g, weights, src)
+		bf, ok := BellmanFordWeighted(g, weights, src)
+		if !ok {
+			return false
+		}
+		for i := range dj {
+			if dj[i] != bf[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBellmanFordNegativeEdgeOK(t *testing.T) {
+	// 0 -(4)-> 1, 0 -(5)-> 2, 2 -(-3)-> 1: shortest to 1 is 2.
+	g := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 2, To: 1}})
+	dist, ok := BellmanFordWeighted(g, []int32{4, 5, -3}, 0)
+	if !ok || dist[1] != 2 {
+		t.Fatalf("dist = %v ok = %v", dist, ok)
+	}
+}
+
+func TestBellmanFordNegativeCycle(t *testing.T) {
+	g := graph.FromEdges(2, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 0}})
+	if _, ok := BellmanFordWeighted(g, []int32{-1, -1}, 0); ok {
+		t.Fatal("negative cycle not detected")
+	}
+}
+
+func TestDijkstraPanics(t *testing.T) {
+	g := graph.FromEdges(2, []graph.Edge{{From: 0, To: 1}})
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("length mismatch", func() { DijkstraWeighted(g, nil, 0) })
+	mustPanic("negative weight", func() { DijkstraWeighted(g, []int32{-2}, 0) })
+}
+
+func TestRandomWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randGraph(rng, 30, 120)
+	w := RandomWeights(g, 10, 7)
+	if int64(len(w)) != g.NumEdges() {
+		t.Fatalf("len = %d", len(w))
+	}
+	for _, x := range w {
+		if x < 1 || x > 10 {
+			t.Fatalf("weight %d out of [1,10]", x)
+		}
+	}
+	// Deterministic in the seed.
+	w2 := RandomWeights(g, 10, 7)
+	for i := range w {
+		if w[i] != w2[i] {
+			t.Fatal("weights not deterministic")
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyRunner keeps integration tests fast: two datasets at 1/20 of
+// the default size, one rep, scaled-down kernels.
+func tinyRunner() *Runner {
+	r := NewRunner()
+	r.Scale = 0.05
+	r.Reps = 1
+	r.MaxDatasets = 2
+	r.Params.PageRankIters = 5
+	r.Params.DiameterSamples = 3
+	return r
+}
+
+func TestRegistriesComplete(t *testing.T) {
+	if got := len(Datasets()); got != 9 {
+		t.Errorf("datasets = %d, want 9 (Table 1 has 8 + epinion)", got)
+	}
+	if got := len(Orderings()); got != 10 {
+		t.Errorf("orderings = %d, want 10", got)
+	}
+	if got := len(Kernels()); got != 9 {
+		t.Errorf("kernels = %d, want 9", got)
+	}
+	names := map[string]bool{}
+	for _, o := range Orderings() {
+		names[o.Name] = true
+	}
+	for _, want := range []string{"Original", "Random", "MinLA", "MinLogA", "RCM",
+		"InDegSort", "ChDFS", "SlashBurn", "LDG", GorderName} {
+		if !names[want] {
+			t.Errorf("missing ordering %q", want)
+		}
+	}
+}
+
+func TestDatasetByName(t *testing.T) {
+	if _, ok := DatasetByName("flickr-s"); !ok {
+		t.Error("flickr-s not found")
+	}
+	if _, ok := DatasetByName("nope"); ok {
+		t.Error("bogus dataset found")
+	}
+}
+
+func TestDatasetsBuildAndAreSimple(t *testing.T) {
+	for _, ds := range Datasets() {
+		g := ds.Build(0.02)
+		if g.NumNodes() == 0 || g.NumEdges() == 0 {
+			t.Errorf("%s: empty graph", ds.Name)
+		}
+		// Deterministic in the (fixed) seed.
+		if !g.Equal(ds.Build(0.02)) {
+			t.Errorf("%s: not deterministic", ds.Name)
+		}
+	}
+}
+
+func TestMatrixShape(t *testing.T) {
+	r := tinyRunner()
+	m := r.RunMatrix()
+	if len(m.Kernels) != 9 || len(m.Orderings) != 10 || len(m.Datasets) != 2 {
+		t.Fatalf("matrix dims %dx%dx%d", len(m.Kernels), len(m.Datasets), len(m.Orderings))
+	}
+	for _, k := range m.Kernels {
+		for _, ds := range m.Datasets {
+			for _, o := range m.Orderings {
+				if m.Seconds[k][ds][o] <= 0 {
+					t.Fatalf("cell %s/%s/%s not measured", k, ds, o)
+				}
+			}
+		}
+	}
+	// Matrix is cached: second call returns the same object.
+	if r.RunMatrix() != m {
+		t.Error("RunMatrix not cached")
+	}
+}
+
+func TestAllExperimentTablesRender(t *testing.T) {
+	r := tinyRunner()
+	tables := []Table{r.Table1(), r.Table2(), r.Fig6Table()}
+	tables = append(tables, r.Fig5Tables()...)
+	tables = append(tables, r.FigS1Tables()...)
+	for _, tb := range tables {
+		var buf bytes.Buffer
+		if err := tb.Render(&buf); err != nil {
+			t.Fatalf("%s: %v", tb.ID, err)
+		}
+		if !strings.Contains(buf.String(), tb.ID) {
+			t.Errorf("%s: render missing id", tb.ID)
+		}
+		if md := tb.Markdown(); !strings.Contains(md, "|") {
+			t.Errorf("%s: markdown not tabular", tb.ID)
+		}
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Header) {
+				t.Errorf("%s: ragged row %v", tb.ID, row)
+			}
+		}
+	}
+}
+
+func TestCacheExperiments(t *testing.T) {
+	r := tinyRunner()
+	for _, tb := range r.Table3Tables() {
+		if len(tb.Rows) != 10 {
+			t.Errorf("table3 rows = %d, want 10 orderings", len(tb.Rows))
+		}
+	}
+	fig1 := r.Fig1Table()
+	if len(fig1.Rows) != 9 {
+		t.Errorf("fig1 rows = %d, want 9 kernels", len(fig1.Rows))
+	}
+}
+
+func TestFig4AndFig3(t *testing.T) {
+	r := tinyRunner()
+	fig4 := r.Fig4Table()
+	if len(fig4.Rows) == 0 {
+		t.Error("fig4 empty")
+	}
+	fig3 := r.Fig3Table()
+	if len(fig3.Rows) != 4 {
+		t.Errorf("fig3 rows = %d, want 4 step settings", len(fig3.Rows))
+	}
+}
+
+func TestTable3DatasetsPicksSocialAndWeb(t *testing.T) {
+	r := NewRunner()
+	names := r.Table3Datasets()
+	if len(names) != 2 {
+		t.Fatalf("Table3Datasets = %v, want one social + one web", names)
+	}
+	a, _ := DatasetByName(names[0])
+	b, _ := DatasetByName(names[1])
+	if a.Category != "social" || b.Category != "web" {
+		t.Errorf("categories = %s, %s", a.Category, b.Category)
+	}
+}
+
+func TestCompressAndDialTables(t *testing.T) {
+	r := tinyRunner()
+	ct := r.CompressTable()
+	if len(ct.Rows) != 10 {
+		t.Errorf("compress rows = %d, want 10", len(ct.Rows))
+	}
+	if testing.Short() {
+		t.Skip("dial is slower")
+	}
+	dt := r.DialTable()
+	if len(dt.Rows) != 6 {
+		t.Errorf("dial rows = %d, want 6", len(dt.Rows))
+	}
+}
+
+func TestTLBTable(t *testing.T) {
+	r := tinyRunner()
+	tables := r.TLBTable()
+	if len(tables) == 0 {
+		t.Fatal("no TLB tables")
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) != 10 {
+			t.Errorf("tlb rows = %d, want 10", len(tb.Rows))
+		}
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Header) {
+				t.Errorf("ragged row %v", row)
+			}
+		}
+	}
+}
+
+func TestCacheGridTable(t *testing.T) {
+	r := tinyRunner()
+	tb := r.CacheGridTable()
+	if len(tb.Rows) != 10 || len(tb.Header) != 10 {
+		t.Errorf("cachegrid shape %dx%d, want 10x10", len(tb.Rows), len(tb.Header))
+	}
+}

@@ -1,0 +1,37 @@
+package bench
+
+import "fmt"
+
+// CacheGridTable extends Table 3 from PageRank to every kernel: the
+// simulated L1 miss rate for all nine kernels under all ten orderings
+// on one mid-size dataset. It answers the "does the PR result
+// generalise?" question the original paper's wider tables address.
+func (r *Runner) CacheGridTable() Table {
+	list := r.DatasetList()
+	ds := list[len(list)/2] // a mid-size dataset keeps this affordable
+	p := r.prepare(ds)
+	saved := r.Params
+	r.Params = r.cacheParams()
+	defer func() { r.Params = saved }()
+
+	t := Table{
+		ID:     "cachegrid",
+		Title:  fmt.Sprintf("Simulated L1 miss rate, all kernels × all orderings on %s", ds.Name),
+		Header: []string{"ordering"},
+	}
+	kernels := Kernels()
+	for _, k := range kernels {
+		t.Header = append(t.Header, k.Name)
+	}
+	for _, o := range Orderings() {
+		row := []string{o.Name}
+		g := p.relabeled[o.Name]
+		for _, k := range kernels {
+			rep := r.CacheRun(k, g)
+			row = append(row, fmtPct(rep.L1MissRate()))
+		}
+		t.Rows = append(t.Rows, row)
+		r.logf("cachegrid %s done", o.Name)
+	}
+	return t
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The paper's figures are bar charts; these helpers render the same
+// series as Unicode bars so cmd/bench output reads like the figures.
+
+// Bar renders a horizontal bar of the given fractional width (0..1)
+// using eighth-block characters, width cells wide.
+func Bar(fraction float64, width int) string {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	eighths := int(fraction*float64(width)*8 + 0.5)
+	full := eighths / 8
+	rem := eighths % 8
+	blocks := []rune{' ', '▏', '▎', '▍', '▌', '▋', '▊', '▉'}
+	var b strings.Builder
+	for i := 0; i < full; i++ {
+		b.WriteRune('█')
+	}
+	if rem > 0 {
+		b.WriteRune(blocks[rem])
+	}
+	return b.String()
+}
+
+// BarChart renders labelled values as a right-aligned label column,
+// the numeric value, and a bar scaled to the maximum value.
+func BarChart(w io.Writer, title string, labels []string, values []float64, width int) error {
+	if len(labels) != len(values) {
+		return fmt.Errorf("bench: %d labels vs %d values", len(labels), len(values))
+	}
+	if width <= 0 {
+		width = 40
+	}
+	maxLabel, maxVal := 0, 0.0
+	for i, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+		if values[i] > maxVal {
+			maxVal = values[i]
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, l := range labels {
+		frac := 0.0
+		if maxVal > 0 {
+			frac = values[i] / maxVal
+		}
+		fmt.Fprintf(&b, "  %-*s %8.2f %s\n", maxLabel, l, values[i], Bar(frac, width))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ChartColumn renders one numeric column of a Table as a bar chart,
+// using the first column as labels. Non-numeric cells (unit-suffixed
+// times, percentages) are parsed leniently; rows that do not parse
+// are skipped.
+func ChartColumn(w io.Writer, t Table, col int, width int) error {
+	if col <= 0 || col >= len(t.Header) {
+		return fmt.Errorf("bench: chart column %d out of range", col)
+	}
+	var labels []string
+	var values []float64
+	for _, row := range t.Rows {
+		if v, ok := parseLenient(row[col]); ok {
+			labels = append(labels, row[0])
+			values = append(values, v)
+		}
+	}
+	title := fmt.Sprintf("%s — %s (%s)", t.ID, t.Title, t.Header[col])
+	return BarChart(w, title, labels, values, width)
+}
+
+// parseLenient extracts a float from strings like "1.23", "45ms",
+// "2.5s", "31.9%", "12.6M", "1.5k".
+func parseLenient(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "µs"):
+		s, mult = strings.TrimSuffix(s, "µs"), 1e-6
+	case strings.HasSuffix(s, "ms"):
+		s, mult = strings.TrimSuffix(s, "ms"), 1e-3
+	case strings.HasSuffix(s, "%"):
+		s, mult = strings.TrimSuffix(s, "%"), 0.01
+	case strings.HasSuffix(s, "s"):
+		s, mult = strings.TrimSuffix(s, "s"), 1
+	case strings.HasSuffix(s, "m"):
+		s, mult = strings.TrimSuffix(s, "m"), 60
+	case strings.HasSuffix(s, "k"):
+		s, mult = strings.TrimSuffix(s, "k"), 1e3
+	case strings.HasSuffix(s, "M"):
+		s, mult = strings.TrimSuffix(s, "M"), 1e6
+	case strings.HasSuffix(s, "G"):
+		s, mult = strings.TrimSuffix(s, "G"), 1e9
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v * mult, true
+}

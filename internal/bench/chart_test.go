@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestBar(t *testing.T) {
+	if Bar(0, 10) != "" {
+		t.Errorf("Bar(0) = %q", Bar(0, 10))
+	}
+	full := Bar(1, 10)
+	if utf8.RuneCountInString(full) != 10 || !strings.HasPrefix(full, "██") {
+		t.Errorf("Bar(1) = %q", full)
+	}
+	half := Bar(0.5, 10)
+	if n := utf8.RuneCountInString(half); n < 5 || n > 6 {
+		t.Errorf("Bar(0.5) rune count = %d", n)
+	}
+	// Clamping.
+	if Bar(-1, 5) != "" || utf8.RuneCountInString(Bar(2, 5)) != 5 {
+		t.Error("Bar does not clamp")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := BarChart(&buf, "test", []string{"alpha", "b"}, []float64{2, 1}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "test") {
+		t.Errorf("chart output missing content:\n%s", out)
+	}
+	// The larger value's bar must be longer.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if utf8.RuneCountInString(lines[1]) <= utf8.RuneCountInString(lines[2]) {
+		t.Errorf("bar lengths not ordered:\n%s", out)
+	}
+}
+
+func TestBarChartMismatched(t *testing.T) {
+	if err := BarChart(&bytes.Buffer{}, "x", []string{"a"}, nil, 10); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestParseLenient(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"1.5", 1.5, true},
+		{"45ms", 0.045, true},
+		{"2.5s", 2.5, true},
+		{"3µs", 3e-6, true},
+		{"1.5m", 90, true},
+		{"31.9%", 0.319, true},
+		{"12.6M", 12.6e6, true},
+		{"1.5k", 1500, true},
+		{"2G", 2e9, true},
+		{"social", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseLenient(c.in)
+		if ok != c.ok {
+			t.Errorf("parseLenient(%q) ok = %v", c.in, ok)
+			continue
+		}
+		if ok && (got < c.want*0.999 || got > c.want*1.001) {
+			t.Errorf("parseLenient(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestChartColumn(t *testing.T) {
+	tb := Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"who", "time"},
+		Rows:   [][]string{{"a", "10ms"}, {"b", "20ms"}, {"skip", "n/a"}},
+	}
+	var buf bytes.Buffer
+	if err := ChartColumn(&buf, tb, 1, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Errorf("chart missing rows:\n%s", out)
+	}
+	if strings.Contains(out, "skip") {
+		t.Errorf("unparseable row not skipped:\n%s", out)
+	}
+	if err := ChartColumn(&buf, tb, 5, 20); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"fmt"
+
+	"gorder/internal/compress"
+)
+
+// CompressTable is the extension experiment from the papers'
+// discussion sections: locality orderings also shrink gap-encoded
+// graph representations (the WebGraph connection). It reports
+// bits/edge of the varint gap encoding for every ordering on every
+// dataset — smaller is better, and the ranking should echo the cache
+// ranking.
+func (r *Runner) CompressTable() Table {
+	t := Table{
+		ID:     "compress",
+		Title:  "Gap-encoded size by ordering (bits per edge; extension experiment)",
+		Header: []string{"ordering"},
+		Notes: []string{
+			"varint gap encoding of out-adjacency (internal/compress)",
+			"extension from the papers' discussion: orderings as a compression input",
+		},
+	}
+	list := r.DatasetList()
+	for _, ds := range list {
+		t.Header = append(t.Header, ds.Name)
+	}
+	for _, o := range Orderings() {
+		row := []string{o.Name}
+		for _, ds := range list {
+			p := r.prepare(ds)
+			row = append(row, fmt.Sprintf("%.1f", compress.BitsPerEdge(p.relabeled[o.Name])))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"gorder/internal/gen"
+	"gorder/internal/graph"
+)
+
+// Dataset is a named synthetic benchmark graph. Each entry is a
+// scaled-down structural stand-in for one of the paper's real
+// datasets (DESIGN.md §4.1): social graphs get preferential-attachment
+// or R-MAT structure with skewed in-degrees; web graphs get the
+// copying model whose original numbering has crawl locality.
+type Dataset struct {
+	Name     string
+	Category string // "social" or "web", as in Table 1
+	// Counterpart is the paper dataset this one stands in for.
+	Counterpart string
+	// Build generates the graph; scale multiplies the vertex count
+	// (1.0 = the default laptop-friendly size).
+	Build func(scale float64) *graph.Graph
+}
+
+func scaled(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 16 {
+		v = 16
+	}
+	return v
+}
+
+// Datasets returns the benchmark registry in size order, mirroring
+// the eight datasets of the paper's Table 1 plus the replication's
+// added small "epinion".
+func Datasets() []Dataset {
+	return []Dataset{
+		{
+			Name: "epinion-s", Category: "social", Counterpart: "epinion",
+			Build: func(s float64) *graph.Graph {
+				return gen.BarabasiAlbert(scaled(1500, s), 6, 0xE01)
+			},
+		},
+		{
+			Name: "pokec-s", Category: "social", Counterpart: "pokec",
+			Build: func(s float64) *graph.Graph {
+				return gen.BarabasiAlbert(scaled(25000, s), 9, 0xB0EC)
+			},
+		},
+		{
+			Name: "flickr-s", Category: "social", Counterpart: "flickr",
+			Build: func(s float64) *graph.Graph {
+				return gen.RMAT(rmScale(32768, s), 7, gen.DefaultRMAT, 0xF11C)
+			},
+		},
+		{
+			Name: "livejournal-s", Category: "social", Counterpart: "livejournal",
+			Build: func(s float64) *graph.Graph {
+				return gen.SBM(scaled(40000, s), 60, 9, 3, 0x117E)
+			},
+		},
+		{
+			Name: "wiki-s", Category: "web", Counterpart: "wiki",
+			Build: func(s float64) *graph.Graph {
+				return gen.Web(scaled(60000, s), gen.WebConfig{OutDegree: 14, PCopy: 0.55, Locality: 32}, 0x3117)
+			},
+		},
+		{
+			Name: "gplus-s", Category: "social", Counterpart: "gplus",
+			Build: func(s float64) *graph.Graph {
+				return gen.BarabasiAlbert(scaled(70000, s), 10, 0x6B15)
+			},
+		},
+		{
+			Name: "pldarc-s", Category: "web", Counterpart: "pldarc",
+			Build: func(s float64) *graph.Graph {
+				return gen.Web(scaled(90000, s), gen.WebConfig{OutDegree: 12, PCopy: 0.6, Locality: 48}, 0x97D0)
+			},
+		},
+		{
+			Name: "twitter-s", Category: "social", Counterpart: "twitter",
+			Build: func(s float64) *graph.Graph {
+				return gen.RMAT(rmScale(98304, s), 10, gen.DefaultRMAT, 0x7317)
+			},
+		},
+		{
+			Name: "sdarc-s", Category: "web", Counterpart: "sdarc",
+			Build: func(s float64) *graph.Graph {
+				return gen.Web(scaled(120000, s), gen.WebConfig{OutDegree: 16, PCopy: 0.6, Locality: 64}, 0x5DA0)
+			},
+		},
+	}
+}
+
+// rmScale converts a target vertex count into the nearest R-MAT scale
+// exponent after applying the size multiplier.
+func rmScale(n int, scale float64) int {
+	target := float64(n) * scale
+	s := 4
+	for (1 << uint(s+1)) <= int(target) {
+		s++
+	}
+	return s
+}
+
+// DatasetByName finds a registry entry.
+func DatasetByName(name string) (Dataset, bool) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}

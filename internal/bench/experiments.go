@@ -1,0 +1,414 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gorder/internal/core"
+	"gorder/internal/graph"
+	"gorder/internal/order"
+	"gorder/internal/stats"
+)
+
+// Formatting helpers shared by the experiment drivers.
+
+func fmtSecs(s float64) string {
+	switch {
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.0fms", s*1e3)
+	case s < 60:
+		return fmt.Sprintf("%.2fs", s)
+	default:
+		return fmt.Sprintf("%.1fm", s/60)
+	}
+}
+
+func fmtPct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+func fmtCount(x uint64) string {
+	switch {
+	case x >= 1e9:
+		return fmt.Sprintf("%.2fG", float64(x)/1e9)
+	case x >= 1e6:
+		return fmt.Sprintf("%.2fM", float64(x)/1e6)
+	case x >= 1e3:
+		return fmt.Sprintf("%.1fk", float64(x)/1e3)
+	default:
+		return fmt.Sprintf("%d", x)
+	}
+}
+
+// Table1 reports the features of the synthetic datasets, mirroring
+// the paper's Table 1.
+func (r *Runner) Table1() Table {
+	t := Table{
+		ID:     "table1",
+		Title:  "Dataset features (synthetic stand-ins for the paper's Table 1)",
+		Header: []string{"dataset", "category", "stands for", "nodes", "edges", "avg deg", "max in", "max out"},
+		Notes: []string{
+			"Real datasets are substituted by seeded generators; see DESIGN.md §4.",
+		},
+	}
+	for _, ds := range r.DatasetList() {
+		g := r.prepare(ds).g
+		s := graph.ComputeStats(g)
+		t.Rows = append(t.Rows, []string{
+			ds.Name, ds.Category, ds.Counterpart,
+			fmtCount(uint64(s.Nodes)), fmtCount(uint64(s.Edges)),
+			fmt.Sprintf("%.1f", s.AvgDegree),
+			fmtCount(uint64(s.MaxInDegree)), fmtCount(uint64(s.MaxOutDegree)),
+		})
+	}
+	return t
+}
+
+// table2Orderings are the rows of the replication's Table 2: the
+// orderings that actually compute something (Original and Random are
+// trivial and excluded there).
+var table2Orderings = []string{
+	"MinLA", "MinLogA", "RCM", "InDegSort", "ChDFS", "SlashBurn", "LDG", GorderName,
+}
+
+// Table2 reports ordering computation time, mirroring the
+// replication's Table 2 (original paper's Table 9).
+func (r *Runner) Table2() Table {
+	m := r.RunMatrix()
+	t := Table{
+		ID:     "table2",
+		Title:  "Graph ordering time (seconds)",
+		Header: append([]string{"ordering"}, m.Datasets...),
+	}
+	for _, o := range table2Orderings {
+		row := []string{o}
+		for _, ds := range m.Datasets {
+			row = append(row, fmtSecs(m.OrderSeconds[ds][o]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	edgeRow := []string{"edges m"}
+	for _, ds := range m.Datasets {
+		edgeRow = append(edgeRow, fmtCount(uint64(r.prepared[ds].g.NumEdges())))
+	}
+	t.Rows = append(t.Rows, edgeRow)
+	return t
+}
+
+// Fig5Tables reports, for each kernel, the runtime of every ordering
+// relative to Gorder (the replication's Figure 5 / the original's
+// Figure 9). The first row gives Gorder's absolute runtime.
+func (r *Runner) Fig5Tables() []Table {
+	m := r.RunMatrix()
+	var tables []Table
+	for _, k := range m.Kernels {
+		t := Table{
+			ID:     "fig5",
+			Title:  fmt.Sprintf("%s: runtime relative to Gorder (=1.00)", k),
+			Header: append([]string{"ordering"}, m.Datasets...),
+		}
+		abs := []string{"Gorder abs"}
+		for _, ds := range m.Datasets {
+			abs = append(abs, fmtSecs(m.Seconds[k][ds][GorderName]))
+		}
+		t.Rows = append(t.Rows, abs)
+		for _, o := range m.Orderings {
+			row := []string{o}
+			for _, ds := range m.Datasets {
+				ref := m.Seconds[k][ds][GorderName]
+				row = append(row, fmt.Sprintf("%.2f", m.Seconds[k][ds][o]/ref))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// FigS1Tables regroups the Figure 5 data by ordering (the
+// replication's supplementary Figure S1): for each kernel, rows are
+// datasets and columns orderings.
+func (r *Runner) FigS1Tables() []Table {
+	m := r.RunMatrix()
+	var tables []Table
+	for _, k := range m.Kernels {
+		t := Table{
+			ID:     "figs1",
+			Title:  fmt.Sprintf("%s: relative runtime grouped by ordering", k),
+			Header: append([]string{"dataset"}, m.Orderings...),
+		}
+		for _, ds := range m.Datasets {
+			row := []string{ds}
+			ref := m.Seconds[k][ds][GorderName]
+			for _, o := range m.Orderings {
+				row = append(row, fmt.Sprintf("%.2f", m.Seconds[k][ds][o]/ref))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig6Table aggregates the Figure 5 matrix into rank counts per
+// ordering (the replication's Figure 6): how many of the
+// kernel×dataset series each ordering finished 1st, 2nd, ... in.
+func (r *Runner) Fig6Table() Table {
+	m := r.RunMatrix()
+	var series [][]float64
+	for _, k := range m.Kernels {
+		for _, ds := range m.Datasets {
+			row := make([]float64, len(m.Orderings))
+			for i, o := range m.Orderings {
+				row[i] = m.Seconds[k][ds][o]
+			}
+			series = append(series, row)
+		}
+	}
+	hist := stats.RankHistogram(series)
+	meanRank := stats.MeanRank(series)
+	// Present orderings best-first by mean rank, as the figure does.
+	idx := make([]int, len(m.Orderings))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return meanRank[idx[a]] < meanRank[idx[b]] })
+
+	t := Table{
+		ID:    "fig6",
+		Title: fmt.Sprintf("Ordering rank histogram over %d series (rank 1 = fastest)", len(series)),
+		Notes: []string{"rows sorted by mean rank; compare to the replication's Figure 6"},
+	}
+	t.Header = []string{"ordering", "mean rank"}
+	for rk := 1; rk <= len(m.Orderings); rk++ {
+		t.Header = append(t.Header, fmt.Sprintf("#%d", rk))
+	}
+	for _, i := range idx {
+		row := []string{m.Orderings[i], fmt.Sprintf("%.2f", meanRank[i])}
+		for _, c := range hist[i] {
+			row = append(row, fmt.Sprintf("%d", c))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table3Datasets picks the cache-statistics datasets: the largest
+// social graph and the largest web graph, like the replication's
+// Tables 3a (flickr) and 3b (sdarc). The registry is size-ordered, so
+// "largest" is the last of each category — small graphs fit the
+// simulated LLC and show flat rates.
+func (r *Runner) Table3Datasets() []string {
+	list := r.DatasetList()
+	social, web := "", ""
+	for _, ds := range list {
+		if ds.Category == "social" {
+			social = ds.Name
+		}
+		if ds.Category == "web" {
+			web = ds.Name
+		}
+	}
+	var out []string
+	if social != "" {
+		out = append(out, social)
+	}
+	if web != "" && web != social {
+		out = append(out, web)
+	}
+	return out
+}
+
+// cacheParams scales the kernel parameters for simulated runs: the
+// steady-state access pattern of PageRank repeats every iteration, so
+// a few iterations give the same rates as 100 at a fraction of the
+// simulation cost.
+func (r *Runner) cacheParams() Params {
+	p := r.Params
+	if p.PageRankIters > 10 {
+		p.PageRankIters = 10
+	}
+	if p.DiameterSamples > 5 {
+		p.DiameterSamples = 5
+	}
+	return p
+}
+
+// Table3Tables reports simulated cache statistics for the PageRank
+// kernel under every ordering, mirroring the replication's Table 3
+// (original's Tables 3–4): L1 references, L1 miss rate, L3 (LLC)
+// references, L3 ratio and overall cache-miss rate.
+func (r *Runner) Table3Tables() []Table {
+	var tables []Table
+	var pr Kernel
+	for _, k := range Kernels() {
+		if k.Name == "PR" {
+			pr = k
+		}
+	}
+	saved := r.Params
+	r.Params = r.cacheParams()
+	defer func() { r.Params = saved }()
+	for _, dsName := range r.Table3Datasets() {
+		ds, _ := DatasetByName(dsName)
+		p := r.prepare(ds)
+		t := Table{
+			ID:     "table3",
+			Title:  fmt.Sprintf("Cache statistics for PageRank on %s (simulated hierarchy)", dsName),
+			Header: []string{"ordering", "L1-ref", "L1-mr", "L3-ref", "L3-r", "Cache-mr"},
+			Notes: []string{
+				"simulated set-associative LRU hierarchy; see internal/cache",
+			},
+		}
+		for _, o := range Orderings() {
+			rep := r.CacheRun(pr, p.relabeled[o.Name])
+			t.Rows = append(t.Rows, []string{
+				o.Name,
+				fmtCount(rep.Accesses),
+				fmtPct(rep.L1MissRate()),
+				fmtCount(rep.LLCRefs()),
+				fmtPct(rep.LLCRatio()),
+				fmtPct(rep.MissRate()),
+			})
+			r.logf("table3 %s/%s done", dsName, o.Name)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig1Table reports the CPU-execute vs cache-stall breakdown for all
+// nine kernels under the Original order and under Gorder, mirroring
+// Figure 1. Shares are of the modelled memory-system cycle total.
+func (r *Runner) Fig1Table() Table {
+	list := r.DatasetList()
+	ds := list[len(list)-1] // the largest (web) dataset, like sdarc in the paper
+	p := r.prepare(ds)
+	saved := r.Params
+	r.Params = r.cacheParams()
+	defer func() { r.Params = saved }()
+	t := Table{
+		ID:    "fig1",
+		Title: fmt.Sprintf("CPU execute vs cache stall on %s (fraction of cycles)", ds.Name),
+		Header: []string{"kernel",
+			"orig CPU", "orig stall", "gorder CPU", "gorder stall", "cycle speedup"},
+		Notes: []string{
+			"CPU = all-L1-hit cost of the access stream; stall = modelled excess latency",
+		},
+	}
+	for _, k := range Kernels() {
+		orig := r.CacheRun(k, p.relabeled["Original"])
+		gord := r.CacheRun(k, p.relabeled[GorderName])
+		oc, os := float64(orig.CPUCycles(r.CacheCfg)), float64(orig.StallCycles(r.CacheCfg))
+		gc, gs := float64(gord.CPUCycles(r.CacheCfg)), float64(gord.StallCycles(r.CacheCfg))
+		t.Rows = append(t.Rows, []string{
+			k.Name,
+			fmtPct(oc / (oc + os)), fmtPct(os / (oc + os)),
+			fmtPct(gc / (gc + gs)), fmtPct(gs / (gc + gs)),
+			fmt.Sprintf("%.2fx", (oc+os)/(gc+gs)),
+		})
+		r.logf("fig1 %s done", k.Name)
+	}
+	return t
+}
+
+// Fig4Windows is the window-size sweep of the replication's Figure 4
+// (original's Figure 8).
+var Fig4Windows = []int{1, 2, 3, 5, 8, 16, 64, 256, 1024}
+
+// Fig4Table reports PageRank runtime and the locality score F for
+// Gorder computed with varying window sizes, on the flickr stand-in
+// (as in the papers).
+func (r *Runner) Fig4Table() Table {
+	ds, ok := DatasetByName("flickr-s")
+	if !ok {
+		ds = r.DatasetList()[0]
+	}
+	g := ds.Build(r.Scale)
+	var prk Kernel
+	for _, k := range Kernels() {
+		if k.Name == "PR" {
+			prk = k
+		}
+	}
+	t := Table{
+		ID:     "fig4",
+		Title:  fmt.Sprintf("Gorder window-size sweep on %s: PR runtime and score F", ds.Name),
+		Header: []string{"w", "order time", "PR median", "F(pi) @w=8"},
+		Notes:  []string{"compare shape to the replication's Figure 4 (plateau past w≈5)"},
+	}
+	for _, w := range Fig4Windows {
+		if w >= g.NumNodes() {
+			continue
+		}
+		secs, perm := timeIt(func() order.Permutation {
+			return core.OrderWith(g, core.Options{Window: w})
+		})
+		rel := g.Relabel(perm)
+		pr := r.timeKernel(prk, rel)
+		score := order.Score(g, perm, 8)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", w), fmtSecs(secs), fmtSecs(pr), fmt.Sprintf("%d", score),
+		})
+		r.logf("fig4 w=%d done", w)
+	}
+	return t
+}
+
+// Fig3Table reports the simulated-annealing tuning grid of the
+// replication's Figure 3: final MinLA energy for combinations of step
+// count S and standard energy k, on the epinion stand-in.
+func (r *Runner) Fig3Table() Table {
+	ds := r.DatasetList()[0]
+	g := ds.Build(r.Scale)
+	n := float64(g.NumNodes())
+	m := float64(g.NumEdges())
+	stepGrid := []struct {
+		label string
+		steps int
+	}{
+		{"n", int(n)},
+		{"m/2", int(m / 2)},
+		{"m", int(m)},
+		{"m·logn", int(m * math.Log(n))},
+	}
+	kGrid := []struct {
+		label string
+		k     float64
+	}{
+		{"0 (local)", 0},
+		{"m/n ÷100", m / n / 100},
+		{"m/n", m / n},
+		{"m/n ×100", m / n * 100},
+		{"m·n", m * n},
+	}
+	t := Table{
+		ID:     "fig3",
+		Title:  fmt.Sprintf("Simulated-annealing tuning on %s: final MinLA energy", ds.Name),
+		Header: []string{"steps \\ k"},
+		Notes: []string{
+			"low k ≈ local search performs best; huge k accepts everything (random)",
+			"compare to the replication's Figure 3",
+		},
+	}
+	for _, kg := range kGrid {
+		t.Header = append(t.Header, kg.label)
+	}
+	for _, sg := range stepGrid {
+		row := []string{sg.label}
+		for _, kg := range kGrid {
+			p := order.MinLA(g, order.AnnealOptions{Steps: sg.steps, K: kg.k, Seed: r.Seed})
+			row = append(row, fmtCount(uint64(order.LinearCost(g, p))))
+		}
+		t.Rows = append(t.Rows, row)
+		r.logf("fig3 S=%s done", sg.label)
+	}
+	return t
+}
+
+func timeIt(f func() order.Permutation) (float64, order.Permutation) {
+	start := nowSeconds()
+	p := f()
+	return nowSeconds() - start, p
+}

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gorder/internal/algos"
+	"gorder/internal/cache"
+	"gorder/internal/graph"
+	"gorder/internal/mem"
+	"gorder/internal/order"
+	"gorder/internal/stats"
+)
+
+// Runner drives the experiments. The zero value is not usable; create
+// one with NewRunner and adjust fields before the first experiment
+// call (results are cached inside the runner afterwards).
+type Runner struct {
+	// Scale multiplies every dataset's vertex count (1.0 = default).
+	Scale float64
+	// Reps is the number of timed repetitions per cell; the median is
+	// reported, as in the replication.
+	Reps int
+	// Seed drives the stochastic orderings and kernels.
+	Seed uint64
+	// MaxDatasets truncates the dataset list (0 = all nine); the quick
+	// modes of the benchmarks use it.
+	MaxDatasets int
+	// Params are the kernel parameters.
+	Params Params
+	// CacheCfg is the simulated hierarchy for the cache experiments.
+	CacheCfg cache.Config
+	// Progress, when non-nil, receives one line per completed step so
+	// long runs show life.
+	Progress io.Writer
+
+	prepared map[string]*prepared
+	matrix   *Matrix
+}
+
+// NewRunner returns a Runner with the defaults the EXPERIMENTS.md
+// results were produced with.
+func NewRunner() *Runner {
+	return &Runner{
+		Scale:    1.0,
+		Reps:     3,
+		Seed:     42,
+		Params:   DefaultParams(),
+		CacheCfg: cache.SmallMachine(),
+	}
+}
+
+func (r *Runner) logf(format string, args ...interface{}) {
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, format+"\n", args...)
+	}
+}
+
+// prepared is one dataset with all orderings computed and applied.
+type prepared struct {
+	ds        Dataset
+	g         *graph.Graph
+	perms     map[string]order.Permutation
+	relabeled map[string]*graph.Graph
+	orderSecs map[string]float64
+}
+
+// DatasetList returns the datasets this runner covers.
+func (r *Runner) DatasetList() []Dataset {
+	ds := Datasets()
+	if r.MaxDatasets > 0 && r.MaxDatasets < len(ds) {
+		ds = ds[:r.MaxDatasets]
+	}
+	return ds
+}
+
+// prepare builds (once) a dataset and every ordering of it.
+func (r *Runner) prepare(ds Dataset) *prepared {
+	if r.prepared == nil {
+		r.prepared = make(map[string]*prepared)
+	}
+	if p, ok := r.prepared[ds.Name]; ok {
+		return p
+	}
+	g := ds.Build(r.Scale)
+	p := &prepared{
+		ds:        ds,
+		g:         g,
+		perms:     make(map[string]order.Permutation),
+		relabeled: make(map[string]*graph.Graph),
+		orderSecs: make(map[string]float64),
+	}
+	for _, o := range Orderings() {
+		start := time.Now()
+		perm := o.Compute(g, r.Seed)
+		p.orderSecs[o.Name] = time.Since(start).Seconds()
+		p.perms[o.Name] = perm
+		p.relabeled[o.Name] = g.Relabel(perm)
+		r.logf("prepared %s/%s in %.2fs", ds.Name, o.Name, p.orderSecs[o.Name])
+	}
+	r.prepared[ds.Name] = p
+	return p
+}
+
+// Matrix holds the full runtime grid: median seconds for every
+// (kernel, dataset, ordering) cell plus ordering computation times.
+// Figures 5, 6, S1 and Table 2 are all views of it.
+type Matrix struct {
+	Kernels   []string
+	Datasets  []string
+	Orderings []string
+	// Seconds[kernel][dataset][ordering] = median runtime.
+	Seconds map[string]map[string]map[string]float64
+	// OrderSeconds[dataset][ordering] = time to compute the ordering.
+	OrderSeconds map[string]map[string]float64
+}
+
+// RunMatrix measures (once per Runner) the full grid.
+func (r *Runner) RunMatrix() *Matrix {
+	if r.matrix != nil {
+		return r.matrix
+	}
+	m := &Matrix{
+		Seconds:      make(map[string]map[string]map[string]float64),
+		OrderSeconds: make(map[string]map[string]float64),
+	}
+	for _, k := range Kernels() {
+		m.Kernels = append(m.Kernels, k.Name)
+		m.Seconds[k.Name] = make(map[string]map[string]float64)
+	}
+	for _, o := range Orderings() {
+		m.Orderings = append(m.Orderings, o.Name)
+	}
+	for _, ds := range r.DatasetList() {
+		m.Datasets = append(m.Datasets, ds.Name)
+		p := r.prepare(ds)
+		m.OrderSeconds[ds.Name] = p.orderSecs
+		for _, k := range Kernels() {
+			cells := make(map[string]float64)
+			for _, o := range Orderings() {
+				g := p.relabeled[o.Name]
+				cells[o.Name] = r.timeKernel(k, g)
+			}
+			m.Seconds[k.Name][ds.Name] = cells
+			r.logf("timed %s on %s", k.Name, ds.Name)
+		}
+	}
+	r.matrix = m
+	return m
+}
+
+// timeKernel returns the median wall-clock seconds of Reps runs.
+// Fast kernels are batched testing.B-style — each rep times enough
+// consecutive runs to exceed minBatch, then divides — so sub-
+// millisecond cells are not drowned in timer and scheduler noise.
+func (r *Runner) timeKernel(k Kernel, g *graph.Graph) float64 {
+	const minBatch = 30 * time.Millisecond
+	reps := r.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	start := time.Now()
+	k.Run(g, r.Params)
+	first := time.Since(start)
+	batch := 1
+	if first < minBatch && first > 0 {
+		batch = int(minBatch/first) + 1
+	}
+	times := make([]float64, 0, reps)
+	times = append(times, first.Seconds())
+	for i := 1; i < reps; i++ {
+		start := time.Now()
+		for j := 0; j < batch; j++ {
+			k.Run(g, r.Params)
+		}
+		times = append(times, time.Since(start).Seconds()/float64(batch))
+	}
+	if reps == 1 {
+		return first.Seconds()
+	}
+	// The cold first run is kept only if it is not an outlier; the
+	// median makes that decision for us.
+	return stats.Median(times[1:])
+}
+
+// CacheRun executes kernel k on graph g under the runner's simulated
+// hierarchy and returns the cache report.
+func (r *Runner) CacheRun(k Kernel, g *graph.Graph) cache.Report {
+	return r.CacheRunWith(r.CacheCfg, k, g)
+}
+
+// CacheRunWith is CacheRun under an explicit hierarchy configuration
+// (the TLB experiment varies it).
+func (r *Runner) CacheRunWith(cfg cache.Config, k Kernel, g *graph.Graph) cache.Report {
+	h := cache.New(cfg)
+	s := mem.NewSpace(h)
+	t := algos.NewTracedGraph(g, s)
+	k.RunTraced(g, t, s, r.Params)
+	return h.Report()
+}

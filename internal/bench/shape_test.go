@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"testing"
+
+	"gorder/internal/cache"
+	"gorder/internal/gen"
+	"gorder/internal/graph"
+	"gorder/internal/order"
+)
+
+// These tests assert the *shapes* of the paper's headline results on
+// mid-size graphs — the qualitative claims EXPERIMENTS.md records
+// quantitatively. They take a few seconds; skipped under -short.
+
+func cacheStatsFor(t *testing.T, r *Runner, g *graph.Graph, perm order.Permutation) cache.Report {
+	t.Helper()
+	var pr Kernel
+	for _, k := range Kernels() {
+		if k.Name == "PR" {
+			pr = k
+		}
+	}
+	return r.CacheRun(pr, g.Relabel(perm))
+}
+
+// Gorder yields the lowest L1 miss rate for PageRank among
+// {Gorder, Original, Random}, and Random the highest — the core of
+// the paper's Tables 3–4.
+func TestShapeGorderReducesMisses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := NewRunner()
+	r.Params = r.cacheParams()
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"social", gen.BarabasiAlbert(30000, 8, 3)},
+		{"web", gen.Web(30000, gen.DefaultWeb, 3)},
+	} {
+		g := tc.g
+		gord := cacheStatsFor(t, r, g, orderingByName(t, GorderName).Compute(g, 1))
+		orig := cacheStatsFor(t, r, g, order.Identity(g.NumNodes()))
+		rnd := cacheStatsFor(t, r, g, order.Random(g.NumNodes(), 5))
+		if !(gord.L1MissRate() < orig.L1MissRate()) {
+			t.Errorf("%s: L1mr gorder %.3f !< original %.3f", tc.name, gord.L1MissRate(), orig.L1MissRate())
+		}
+		if !(gord.L1MissRate() < rnd.L1MissRate()) {
+			t.Errorf("%s: L1mr gorder %.3f !< random %.3f", tc.name, gord.L1MissRate(), rnd.L1MissRate())
+		}
+		if !(orig.L1MissRate() < rnd.L1MissRate()) {
+			t.Errorf("%s: L1mr original %.3f !< random %.3f", tc.name, orig.L1MissRate(), rnd.L1MissRate())
+		}
+		// L1 references barely differ: same algorithm, same work.
+		ratio := float64(gord.Accesses) / float64(orig.Accesses)
+		if ratio < 0.98 || ratio > 1.02 {
+			t.Errorf("%s: access counts diverge: %.3f", tc.name, ratio)
+		}
+	}
+}
+
+// The stall share of modelled cycles drops under Gorder while the CPU
+// component stays fixed — Figure 1's message.
+func TestShapeStallDominatesAndDrops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	r := NewRunner()
+	r.Params = r.cacheParams()
+	g := gen.BarabasiAlbert(30000, 8, 9)
+	gord := cacheStatsFor(t, r, g, orderingByName(t, GorderName).Compute(g, 1))
+	orig := cacheStatsFor(t, r, g, order.Identity(g.NumNodes()))
+	cfg := r.CacheCfg
+	if gord.StallCycles(cfg) >= orig.StallCycles(cfg) {
+		t.Errorf("stall cycles did not drop: %d → %d", orig.StallCycles(cfg), gord.StallCycles(cfg))
+	}
+	// CPU cycles (all-hit cost) within 2%: the ordering changes where
+	// data lives, not how much work runs.
+	ratio := float64(gord.CPUCycles(cfg)) / float64(orig.CPUCycles(cfg))
+	if ratio < 0.98 || ratio > 1.02 {
+		t.Errorf("CPU cycles diverge: ratio %.3f", ratio)
+	}
+}
+
+func orderingByName(t *testing.T, name string) Ordering {
+	t.Helper()
+	for _, o := range Orderings() {
+		if o.Name == name {
+			return o
+		}
+	}
+	t.Fatalf("ordering %q not registered", name)
+	return Ordering{}
+}

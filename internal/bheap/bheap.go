@@ -1,0 +1,148 @@
+// Package bheap implements an indexed binary heap over the items
+// 0..n-1, supporting O(log n) insert, extract and arbitrary key updates
+// by item index. It backs the Kcore peeling and greedy dominating-set
+// kernels, mirroring the binary-heap structure the paper uses for core
+// decomposition.
+package bheap
+
+// Heap is an indexed binary heap. Items are dense integers 0..n-1;
+// each item has an int64 key. Less decides the heap order (min-heap
+// with <, max-heap with >). The zero value is not usable; call New.
+type Heap struct {
+	keys []int64 // key per item
+	heap []int32 // heap[i] = item at heap position i
+	pos  []int32 // pos[item] = heap position, -1 if absent
+	less func(a, b int64) bool
+}
+
+// Min returns an ascending-order heap for n items.
+func Min(n int) *Heap { return New(n, func(a, b int64) bool { return a < b }) }
+
+// Max returns a descending-order heap for n items.
+func Max(n int) *Heap { return New(n, func(a, b int64) bool { return a > b }) }
+
+// New returns an empty heap able to hold items 0..n-1 ordered by less.
+func New(n int, less func(a, b int64) bool) *Heap {
+	h := &Heap{
+		keys: make([]int64, n),
+		heap: make([]int32, 0, n),
+		pos:  make([]int32, n),
+		less: less,
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len returns the number of items currently in the heap.
+func (h *Heap) Len() int { return len(h.heap) }
+
+// Contains reports whether item is currently in the heap.
+func (h *Heap) Contains(item int) bool { return h.pos[item] >= 0 }
+
+// Key returns the key most recently assigned to item. It is valid even
+// after the item has been popped.
+func (h *Heap) Key(item int) int64 { return h.keys[item] }
+
+// Push inserts item with the given key. It panics if item is already
+// present.
+func (h *Heap) Push(item int, key int64) {
+	if h.pos[item] >= 0 {
+		panic("bheap: Push of item already in heap")
+	}
+	h.keys[item] = key
+	h.pos[item] = int32(len(h.heap))
+	h.heap = append(h.heap, int32(item))
+	h.up(len(h.heap) - 1)
+}
+
+// Peek returns the top item and its key without removing it. It panics
+// on an empty heap.
+func (h *Heap) Peek() (item int, key int64) {
+	it := h.heap[0]
+	return int(it), h.keys[it]
+}
+
+// Pop removes and returns the top item and its key. It panics on an
+// empty heap.
+func (h *Heap) Pop() (item int, key int64) {
+	it := h.heap[0]
+	h.swap(0, len(h.heap)-1)
+	h.heap = h.heap[:len(h.heap)-1]
+	h.pos[it] = -1
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return int(it), h.keys[it]
+}
+
+// Update changes the key of an item already in the heap and restores
+// heap order. It panics if the item is absent.
+func (h *Heap) Update(item int, key int64) {
+	p := h.pos[item]
+	if p < 0 {
+		panic("bheap: Update of item not in heap")
+	}
+	old := h.keys[item]
+	h.keys[item] = key
+	switch {
+	case h.less(key, old):
+		h.up(int(p))
+	case h.less(old, key):
+		h.down(int(p))
+	}
+}
+
+// Remove deletes an arbitrary item from the heap. It panics if the
+// item is absent.
+func (h *Heap) Remove(item int) {
+	p := int(h.pos[item])
+	if p < 0 {
+		panic("bheap: Remove of item not in heap")
+	}
+	last := len(h.heap) - 1
+	h.swap(p, last)
+	h.heap = h.heap[:last]
+	h.pos[item] = -1
+	if p < last {
+		h.down(p)
+		h.up(p)
+	}
+}
+
+func (h *Heap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = int32(i)
+	h.pos[h.heap[j]] = int32(j)
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.keys[h.heap[i]], h.keys[h.heap[parent]]) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(h.keys[h.heap[l]], h.keys[h.heap[best]]) {
+			best = l
+		}
+		if r < n && h.less(h.keys[h.heap[r]], h.keys[h.heap[best]]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}

@@ -1,0 +1,159 @@
+package bheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinOrder(t *testing.T) {
+	h := Min(10)
+	keys := []int64{5, 3, 8, 1, 9, 2, 7, 0, 6, 4}
+	for i, k := range keys {
+		h.Push(i, k)
+	}
+	var got []int64
+	for h.Len() > 0 {
+		_, k := h.Pop()
+		got = append(got, k)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] > got[i] {
+			t.Fatalf("min heap popped out of order: %v", got)
+		}
+	}
+}
+
+func TestMaxOrder(t *testing.T) {
+	h := Max(5)
+	for i, k := range []int64{2, 9, 4, 7, 1} {
+		h.Push(i, k)
+	}
+	item, key := h.Pop()
+	if item != 1 || key != 9 {
+		t.Fatalf("Pop = (%d, %d), want (1, 9)", item, key)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	h := Min(4)
+	h.Push(0, 10)
+	h.Push(1, 20)
+	h.Push(2, 30)
+	h.Update(2, 5)
+	if item, key := h.Peek(); item != 2 || key != 5 {
+		t.Fatalf("Peek after decrease = (%d, %d), want (2, 5)", item, key)
+	}
+	h.Update(2, 100)
+	if item, _ := h.Peek(); item != 0 {
+		t.Fatalf("Peek after increase = item %d, want 0", item)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	h := Min(5)
+	for i := 0; i < 5; i++ {
+		h.Push(i, int64(i))
+	}
+	h.Remove(0)
+	h.Remove(3)
+	if h.Contains(0) || h.Contains(3) {
+		t.Fatal("removed items still reported present")
+	}
+	var got []int
+	for h.Len() > 0 {
+		it, _ := h.Pop()
+		got = append(got, it)
+	}
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("remaining = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("remaining = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	h := Min(2)
+	h.Push(0, 1)
+	mustPanic(t, "double push", func() { h.Push(0, 2) })
+	mustPanic(t, "update absent", func() { h.Update(1, 3) })
+	mustPanic(t, "remove absent", func() { h.Remove(1) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+// TestQuickAgainstSort runs random operation sequences and checks the
+// heap against a sorted reference.
+func TestQuickAgainstSort(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		h := Min(n)
+		ref := make(map[int]int64)
+		for op := 0; op < 500; op++ {
+			item := rng.Intn(n)
+			switch rng.Intn(4) {
+			case 0:
+				if !h.Contains(item) {
+					k := int64(rng.Intn(1000))
+					h.Push(item, k)
+					ref[item] = k
+				}
+			case 1:
+				if h.Contains(item) {
+					k := int64(rng.Intn(1000))
+					h.Update(item, k)
+					ref[item] = k
+				}
+			case 2:
+				if h.Contains(item) {
+					h.Remove(item)
+					delete(ref, item)
+				}
+			case 3:
+				if h.Len() > 0 {
+					it, k := h.Pop()
+					if ref[it] != k {
+						return false
+					}
+					// Popped key must be the minimum.
+					for _, rk := range ref {
+						if rk < k {
+							return false
+						}
+					}
+					delete(ref, it)
+				}
+			}
+			if h.Len() != len(ref) {
+				return false
+			}
+		}
+		// Drain and verify full ordering.
+		var drained []int64
+		for h.Len() > 0 {
+			_, k := h.Pop()
+			drained = append(drained, k)
+		}
+		if !sort.SliceIsSorted(drained, func(i, j int) bool { return drained[i] < drained[j] }) {
+			return false
+		}
+		return len(drained) == len(ref)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

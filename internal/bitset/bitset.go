@@ -1,0 +1,119 @@
+// Package bitset provides a fixed-size bit set used by graph traversals
+// and ordering algorithms to track visited vertices with one bit per
+// vertex, which keeps the tracking structure itself cache-friendly.
+package bitset
+
+import "math/bits"
+
+const wordBits = 64
+
+// Set is a fixed-capacity bit set. The zero value is an empty set of
+// capacity zero; use New to allocate capacity.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Set able to hold bits 0..n-1, all initially clear.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity of the set in bits.
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i.
+func (s *Set) Set(i int) { s.words[i/wordBits] |= 1 << (uint(i) % wordBits) }
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) { s.words[i/wordBits] &^= 1 << (uint(i) % wordBits) }
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool {
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// TestAndSet sets bit i and reports whether it was already set.
+func (s *Set) TestAndSet(i int) bool {
+	w, m := i/wordBits, uint64(1)<<(uint(i)%wordBits)
+	old := s.words[w]&m != 0
+	s.words[w] |= m
+	return old
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset clears every bit without reallocating.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// NextClear returns the index of the first clear bit at or after from,
+// or -1 if every bit in [from, Len) is set.
+func (s *Set) NextClear(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= s.n {
+		return -1
+	}
+	wi := from / wordBits
+	// Treat bits below from as set so they are skipped.
+	w := ^s.words[wi] &^ (1<<(uint(from)%wordBits) - 1)
+	for {
+		if w != 0 {
+			i := wi*wordBits + bits.TrailingZeros64(w)
+			if i < s.n {
+				return i
+			}
+			return -1
+		}
+		wi++
+		if wi >= len(s.words) {
+			return -1
+		}
+		w = ^s.words[wi]
+	}
+}
+
+// NextSet returns the index of the first set bit at or after from, or -1
+// if there is none.
+func (s *Set) NextSet(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= s.n {
+		return -1
+	}
+	wi := from / wordBits
+	w := s.words[wi] >> (uint(from) % wordBits)
+	if w != 0 {
+		i := from + bits.TrailingZeros64(w)
+		if i < s.n {
+			return i
+		}
+		return -1
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			i := wi*wordBits + bits.TrailingZeros64(s.words[wi])
+			if i < s.n {
+				return i
+			}
+			return -1
+		}
+	}
+	return -1
+}

@@ -1,0 +1,165 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", s.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Test(i) {
+			t.Errorf("bit %d set in fresh set", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Errorf("Count = %d, want 8", got)
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Error("bit 64 still set after Clear")
+	}
+	if got := s.Count(); got != 7 {
+		t.Errorf("Count after Clear = %d, want 7", got)
+	}
+}
+
+func TestTestAndSet(t *testing.T) {
+	s := New(10)
+	if s.TestAndSet(3) {
+		t.Error("TestAndSet on clear bit reported set")
+	}
+	if !s.TestAndSet(3) {
+		t.Error("TestAndSet on set bit reported clear")
+	}
+	if !s.Test(3) {
+		t.Error("bit 3 not set")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(200)
+	for i := 0; i < 200; i += 3 {
+		s.Set(i)
+	}
+	s.Reset()
+	if s.Count() != 0 {
+		t.Errorf("Count after Reset = %d, want 0", s.Count())
+	}
+}
+
+func TestNextClear(t *testing.T) {
+	s := New(130)
+	for i := 0; i < 130; i++ {
+		s.Set(i)
+	}
+	if got := s.NextClear(0); got != -1 {
+		t.Errorf("NextClear(full) = %d, want -1", got)
+	}
+	s.Clear(77)
+	if got := s.NextClear(0); got != 77 {
+		t.Errorf("NextClear(0) = %d, want 77", got)
+	}
+	if got := s.NextClear(77); got != 77 {
+		t.Errorf("NextClear(77) = %d, want 77", got)
+	}
+	if got := s.NextClear(78); got != -1 {
+		t.Errorf("NextClear(78) = %d, want -1", got)
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := New(300)
+	if got := s.NextSet(0); got != -1 {
+		t.Errorf("NextSet(empty) = %d, want -1", got)
+	}
+	s.Set(5)
+	s.Set(200)
+	if got := s.NextSet(0); got != 5 {
+		t.Errorf("NextSet(0) = %d, want 5", got)
+	}
+	if got := s.NextSet(6); got != 200 {
+		t.Errorf("NextSet(6) = %d, want 200", got)
+	}
+	if got := s.NextSet(201); got != -1 {
+		t.Errorf("NextSet(201) = %d, want -1", got)
+	}
+	if got := s.NextSet(500); got != -1 {
+		t.Errorf("NextSet(past end) = %d, want -1", got)
+	}
+}
+
+// TestQuickAgainstMap drives a Set with random operations and compares
+// against a map-based reference implementation.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		s := New(n)
+		ref := make(map[int]bool)
+		for op := 0; op < 1000; op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				s.Set(i)
+				ref[i] = true
+			case 1:
+				s.Clear(i)
+				delete(ref, i)
+			case 2:
+				if s.Test(i) != ref[i] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		// NextSet walk must enumerate exactly the reference set.
+		seen := 0
+		for i := s.NextSet(0); i != -1; i = s.NextSet(i + 1) {
+			if !ref[i] {
+				return false
+			}
+			seen++
+		}
+		return seen == len(ref)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNextClear(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		s := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				s.Set(i)
+			}
+		}
+		from := rng.Intn(n)
+		got := s.NextClear(from)
+		want := -1
+		for i := from; i < n; i++ {
+			if !s.Test(i) {
+				want = i
+				break
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

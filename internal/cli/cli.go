@@ -1,0 +1,99 @@
+// Package cli holds the logic shared by the command-line tools:
+// format-sniffing graph loading and ordering dispatch by name. It
+// exists so the cmd/ mains stay thin and this logic is unit-tested.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"gorder/internal/core"
+	"gorder/internal/graph"
+	"gorder/internal/order"
+)
+
+// ReadGraph loads a graph from path, accepting both the binary CSR
+// format and text edge lists (sniffed in that order). "-" reads a
+// text edge list from stdin.
+func ReadGraph(path string) (*graph.Graph, error) {
+	if path == "-" {
+		return graph.ReadEdgeList(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadGraphFrom(f)
+}
+
+// ReadGraphFrom sniffs the format of a seekable stream: binary first,
+// then text edge list.
+func ReadGraphFrom(f io.ReadSeeker) (*graph.Graph, error) {
+	if g, err := graph.ReadBinary(f); err == nil {
+		return g, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return graph.ReadEdgeList(f)
+}
+
+// OrderingSpec configures ComputeOrdering.
+type OrderingSpec struct {
+	Method string // case-insensitive ordering name
+	Window int    // gorder window (0 = default)
+	Hub    int    // gorder hub-skip threshold (0 = exact)
+	Seed   uint64 // seed for stochastic methods
+}
+
+// methodNames lists the orderings ComputeOrdering accepts.
+var methodNames = []string{
+	"chdfs", "dbg", "gorder", "hubsort", "indegsort", "ldg", "minla",
+	"minloga", "original", "random", "rcm", "slashburn", "slashburn-full",
+}
+
+// MethodNames returns the accepted ordering names, sorted.
+func MethodNames() []string {
+	out := append([]string(nil), methodNames...)
+	sort.Strings(out)
+	return out
+}
+
+// ComputeOrdering dispatches an ordering by name.
+func ComputeOrdering(g *graph.Graph, spec OrderingSpec) (order.Permutation, error) {
+	switch strings.ToLower(spec.Method) {
+	case "gorder":
+		return core.OrderWith(g, core.Options{Window: spec.Window, HubThreshold: spec.Hub}), nil
+	case "original":
+		return order.Identity(g.NumNodes()), nil
+	case "random":
+		return order.Random(g.NumNodes(), spec.Seed), nil
+	case "rcm":
+		return order.RCM(g), nil
+	case "indegsort":
+		return order.InDegSort(g), nil
+	case "chdfs":
+		return order.ChDFS(g), nil
+	case "slashburn":
+		return order.SlashBurn(g), nil
+	case "slashburn-full":
+		return order.SlashBurnFull(g, 0), nil
+	case "hubsort":
+		return order.HubSort(g), nil
+	case "dbg":
+		return order.DBG(g), nil
+	case "ldg":
+		return order.LDG(g, 64), nil
+	case "minla":
+		return order.MinLA(g, order.AnnealOptions{Seed: spec.Seed}), nil
+	case "minloga":
+		return order.MinLogA(g, order.AnnealOptions{Seed: spec.Seed}), nil
+	default:
+		return nil, fmt.Errorf("unknown ordering %q (known: %s)",
+			spec.Method, strings.Join(MethodNames(), " "))
+	}
+}

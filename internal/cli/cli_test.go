@@ -1,0 +1,91 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gorder/internal/gen"
+	"gorder/internal/graph"
+)
+
+func TestReadGraphFromSniffsBinary(t *testing.T) {
+	g := gen.Ring(10)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadGraphFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Fatal("binary sniff round trip failed")
+	}
+}
+
+func TestReadGraphFromSniffsText(t *testing.T) {
+	text := "# comment\n0 1\n1 2\n"
+	h, err := ReadGraphFrom(bytes.NewReader([]byte(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumNodes() != 3 || h.NumEdges() != 2 {
+		t.Fatalf("sniffed text graph n=%d m=%d", h.NumNodes(), h.NumEdges())
+	}
+}
+
+func TestReadGraphFromRejectsGarbage(t *testing.T) {
+	if _, err := ReadGraphFrom(bytes.NewReader([]byte("completely bogus"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReadGraphFile(t *testing.T) {
+	g := gen.Ring(6)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	h, err := ReadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Fatal("file round trip failed")
+	}
+	if _, err := ReadGraph(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestComputeOrderingAllMethods(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 4, 1)
+	for _, m := range MethodNames() {
+		p, err := ComputeOrdering(g, OrderingSpec{Method: m, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+	}
+	// Case-insensitive.
+	if _, err := ComputeOrdering(g, OrderingSpec{Method: "GORDER"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeOrderingUnknown(t *testing.T) {
+	g := graph.FromEdges(2, nil)
+	if _, err := ComputeOrdering(g, OrderingSpec{Method: "metis"}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}

@@ -1,0 +1,156 @@
+// Package cmdtest builds the four command-line tools and drives them
+// end-to-end: generate → order → simulate → benchmark, including the
+// trace record/replay and permutation apply flows.
+package cmdtest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "gorder-cmdtest")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	for _, tool := range []string{"graphgen", "gorder", "cachesim", "bench"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "gorder/cmd/"+tool)
+		cmd.Dir = repoRoot()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			panic("building " + tool + ": " + err.Error() + "\n" + string(out))
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func repoRoot() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Dir(filepath.Dir(wd)) // internal/cmdtest → repo root
+}
+
+func run(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+func runExpectError(t *testing.T, tool string, args ...string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("%s %v unexpectedly succeeded:\n%s", tool, args, out)
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.bin")
+	run(t, "graphgen", "-type", "web", "-n", "2000", "-seed", "3", "-o", graphPath)
+	if fi, err := os.Stat(graphPath); err != nil || fi.Size() == 0 {
+		t.Fatal("graphgen produced no file")
+	}
+
+	permPath := filepath.Join(dir, "g.perm")
+	orderedPath := filepath.Join(dir, "g-ord.bin")
+	out := run(t, "gorder", "-i", graphPath, "-method", "gorder",
+		"-eval", "-perm-out", permPath, "-o", orderedPath)
+	if !strings.Contains(out, "score_F") || !strings.Contains(out, "bandwidth") {
+		t.Errorf("gorder -eval output missing metrics:\n%s", out)
+	}
+	// Applying the saved permutation reproduces the same metrics.
+	out2 := run(t, "gorder", "-i", graphPath, "-apply", permPath, "-eval")
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "score_F") && !strings.Contains(out2, line) {
+			t.Errorf("applied permutation score differs:\n%s\nvs\n%s", out, out2)
+		}
+	}
+
+	sim := run(t, "cachesim", "-i", graphPath, "-kernel", "PR", "-compare", "gorder", "-reuse")
+	if !strings.Contains(sim, "L1-mr") || !strings.Contains(sim, "reuse:") {
+		t.Errorf("cachesim output malformed:\n%s", sim)
+	}
+	if strings.Count(sim, "\n") < 4 {
+		t.Errorf("cachesim did not print both orderings:\n%s", sim)
+	}
+}
+
+func TestTraceRecordReplay(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.bin")
+	run(t, "graphgen", "-type", "social", "-n", "1000", "-o", graphPath)
+	tracePath := filepath.Join(dir, "bfs.trc")
+	rec := run(t, "cachesim", "-i", graphPath, "-kernel", "BFS", "-trace-out", tracePath)
+	rep := run(t, "cachesim", "-replay", tracePath)
+	// The replayed report must equal the recorded one.
+	extract := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "refs=") {
+				return strings.TrimSpace(line[strings.Index(line, "refs="):])
+			}
+		}
+		return ""
+	}
+	if extract(rec) == "" || extract(rec) != extract(rep) {
+		t.Errorf("record/replay mismatch:\nrec: %s\nrep: %s", extract(rec), extract(rep))
+	}
+}
+
+func TestGraphgenRegistryAndFormats(t *testing.T) {
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "g.txt")
+	run(t, "graphgen", "-dataset", "epinion-s", "-scale", "0.2", "-format", "text", "-o", txt)
+	data, err := os.ReadFile(txt)
+	if err != nil || !strings.HasPrefix(string(data), "#") {
+		t.Fatalf("text output malformed: %v", err)
+	}
+	// The gorder tool must accept the text format too.
+	run(t, "gorder", "-i", txt, "-method", "rcm", "-eval")
+	runExpectError(t, "graphgen", "-dataset", "no-such-dataset")
+	runExpectError(t, "graphgen", "-type", "no-such-type")
+}
+
+func TestBenchListAndSmallExperiment(t *testing.T) {
+	list := run(t, "bench", "-list", "-scale", "0.02")
+	for _, want := range []string{"table1", "fig5", "compress", "dial", "epinion-s", "sdarc-s"} {
+		if !strings.Contains(list, want) {
+			t.Errorf("bench -list missing %q", want)
+		}
+	}
+	out := run(t, "bench", "-exp", "table1", "-scale", "0.02", "-datasets", "2", "-chart")
+	if !strings.Contains(out, "table1") || !strings.Contains(out, "epinion-s") {
+		t.Errorf("bench table1 output malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "█") {
+		t.Errorf("-chart produced no bars:\n%s", out)
+	}
+	runExpectError(t, "bench", "-exp", "no-such-exp")
+}
+
+func TestGorderRejectsBadInputs(t *testing.T) {
+	runExpectError(t, "gorder", "-i", "/does/not/exist")
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.bin")
+	run(t, "graphgen", "-type", "er", "-n", "50", "-o", graphPath)
+	runExpectError(t, "gorder", "-i", graphPath, "-method", "metis")
+	// Permutation length mismatch.
+	badPerm := filepath.Join(dir, "bad.perm")
+	if err := os.WriteFile(badPerm, []byte("0\n1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runExpectError(t, "gorder", "-i", graphPath, "-apply", badPerm)
+}

@@ -1,0 +1,93 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gorder/internal/core"
+	"gorder/internal/gen"
+	"gorder/internal/graph"
+	"gorder/internal/order"
+)
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40)} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Fatalf("zigzag round trip %d → %d", v, got)
+		}
+	}
+}
+
+func TestEncodeDecodeSmall(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 3}, {From: 2, To: 0}, {From: 3, To: 3},
+	})
+	data := Encode(g)
+	h, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Fatal("round trip changed the graph")
+	}
+	if int64(len(data)) != EncodedSize(g) {
+		t.Fatalf("EncodedSize %d != len(Encode) %d", EncodedSize(g), len(data))
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{{0xFF}, {2, 5}, {1, 1, 0, 9}} {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("Decode(%v) succeeded", b)
+		}
+	}
+	// Trailing bytes are an error too.
+	g := gen.Ring(3)
+	data := append(Encode(g), 0)
+	if _, err := Decode(data); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		edges := make([]graph.Edge, rng.Intn(5*n))
+		for i := range edges {
+			edges[i] = graph.Edge{From: graph.NodeID(rng.Intn(n)), To: graph.NodeID(rng.Intn(n))}
+		}
+		g := graph.FromEdgesDedup(n, edges)
+		h, err := Decode(Encode(g))
+		if err != nil {
+			return false
+		}
+		return g.Equal(h) && int64(len(Encode(g))) == EncodedSize(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The point of the extension: a locality ordering compresses the
+// graph better than a random one — small gaps, small varints.
+func TestOrderingAffectsCompression(t *testing.T) {
+	g := gen.Web(8000, gen.DefaultWeb, 3)
+	random := g.Relabel(order.Random(g.NumNodes(), 5))
+	gord := g.Relabel(core.Order(g))
+	szRandom := EncodedSize(random)
+	szGorder := EncodedSize(gord)
+	if szGorder >= szRandom {
+		t.Errorf("Gorder encoding %d not below random %d", szGorder, szRandom)
+	}
+	if BitsPerEdge(gord) >= BitsPerEdge(random) {
+		t.Error("bits/edge not improved")
+	}
+}
+
+func TestBitsPerEdgeEmpty(t *testing.T) {
+	if BitsPerEdge(graph.FromEdges(3, nil)) != 0 {
+		t.Error("bits/edge of edgeless graph not 0")
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"gorder/internal/graph"
+	"gorder/internal/order"
+)
+
+// OrderIncremental extends an existing Gorder-style permutation to a
+// grown graph without recomputing it from scratch — the adaptation
+// the papers' discussion calls for on evolving networks, where the
+// full greedy run is too expensive to repeat on every batch of new
+// vertices.
+//
+// g must contain the previously ordered vertices as IDs 0..len(base)-1
+// (their edges may have changed) plus any number of new vertices
+// appended after them. The old vertices keep their base positions;
+// the new vertices are placed greedily after them, each chosen to
+// maximise the windowed score S against the last w placed vertices —
+// the same objective and bookkeeping as the full algorithm, restricted
+// to the new suffix.
+//
+// The suffix is ordered exactly as the full greedy would order it
+// given the frozen prefix, so quality degrades only as much as the
+// frozen prefix is stale; re-run OrderWith when churn accumulates.
+func OrderIncremental(g *graph.Graph, base order.Permutation, opt Options) order.Permutation {
+	n := g.NumNodes()
+	k := len(base)
+	if k > n {
+		panic(fmt.Sprintf("core: base permutation covers %d vertices but graph has %d", k, n))
+	}
+	if err := base.Validate(); err != nil {
+		panic("core: invalid base permutation: " + err.Error())
+	}
+	if k == 0 {
+		return OrderWith(g, opt)
+	}
+	w := opt.Window
+	if w <= 0 {
+		w = DefaultWindow
+	}
+	// Sequence starts as the frozen prefix.
+	seq := make([]graph.NodeID, n)
+	copy(seq, base.Sequence())
+
+	if k == n {
+		return order.FromSequence(seq)
+	}
+	// Queue over the new vertices only; queue index = vertex - k.
+	q := NewUnitHeap(n - k)
+	apply := func(v graph.NodeID, delta int) {
+		bump := func(u graph.NodeID) {
+			if int(u) >= k && q.Contains(int(u)-k) {
+				if delta > 0 {
+					q.Inc(int(u) - k)
+				} else {
+					q.Dec(int(u) - k)
+				}
+			}
+		}
+		for _, u := range g.OutNeighbors(v) {
+			bump(u)
+		}
+		for _, x := range g.InNeighbors(v) {
+			bump(x)
+			if opt.HubThreshold > 0 && g.OutDegree(x) > opt.HubThreshold {
+				continue
+			}
+			for _, u := range g.OutNeighbors(x) {
+				if u != v {
+					bump(u)
+				}
+			}
+		}
+	}
+	// Prime the window with the tail of the frozen prefix.
+	lo := k - w
+	if lo < 0 {
+		lo = 0
+	}
+	for _, v := range seq[lo:k] {
+		apply(v, +1)
+	}
+	for i := k; i < n; i++ {
+		if i > k {
+			apply(seq[i-1], +1)
+			if i-1-w >= 0 {
+				apply(seq[i-1-w], -1)
+			}
+		}
+		v, _, ok := q.ExtractMax()
+		if !ok {
+			break
+		}
+		seq[i] = graph.NodeID(v + k)
+	}
+	return order.FromSequence(seq)
+}

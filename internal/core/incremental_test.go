@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gorder/internal/gen"
+	"gorder/internal/graph"
+	"gorder/internal/order"
+)
+
+// grow extends g with extra new vertices, each linking to a few
+// existing ones (and some back-links), mimicking graph evolution.
+func grow(rng *rand.Rand, g *graph.Graph, extra int) *graph.Graph {
+	n := g.NumNodes()
+	var edges []graph.Edge
+	g.Edges(func(u, v graph.NodeID) bool {
+		edges = append(edges, graph.Edge{From: u, To: v})
+		return true
+	})
+	for v := n; v < n+extra; v++ {
+		links := 1 + rng.Intn(4)
+		for j := 0; j < links; j++ {
+			t := graph.NodeID(rng.Intn(v))
+			edges = append(edges, graph.Edge{From: graph.NodeID(v), To: t})
+			if rng.Intn(2) == 0 {
+				edges = append(edges, graph.Edge{From: t, To: graph.NodeID(v)})
+			}
+		}
+	}
+	return graph.FromEdgesDedup(n+extra, edges)
+}
+
+func TestIncrementalPreservesPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randGraph(rng, 40, 150)
+	base := Order(g)
+	g2 := grow(rng, g, 15)
+	p := OrderIncremental(g2, base, Options{})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 40; u++ {
+		if p[u] != base[u] {
+			t.Fatalf("old vertex %d moved: %d → %d", u, base[u], p[u])
+		}
+	}
+	// New vertices occupy the suffix positions.
+	for u := 40; u < 55; u++ {
+		if int(p[u]) < 40 {
+			t.Fatalf("new vertex %d placed at prefix position %d", u, p[u])
+		}
+	}
+}
+
+func TestIncrementalEmptyBaseFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randGraph(rng, 30, 100)
+	full := Order(g)
+	inc := OrderIncremental(g, order.Permutation{}, Options{})
+	for u := range full {
+		if full[u] != inc[u] {
+			t.Fatal("empty base did not reduce to the full algorithm")
+		}
+	}
+}
+
+func TestIncrementalNoNewVertices(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randGraph(rng, 25, 80)
+	base := Order(g)
+	p := OrderIncremental(g, base, Options{})
+	for u := range base {
+		if p[u] != base[u] {
+			t.Fatal("no-op increment changed the permutation")
+		}
+	}
+}
+
+func TestIncrementalPanicsOnBadBase(t *testing.T) {
+	g := graph.FromEdges(3, nil)
+	for name, base := range map[string]order.Permutation{
+		"too long": {0, 1, 2, 3},
+		"invalid":  {0, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s base accepted", name)
+				}
+			}()
+			OrderIncremental(g, base, Options{})
+		}()
+	}
+}
+
+// The new suffix is placed greedy-optimally given the frozen prefix:
+// each placed new vertex has the maximum windowed score among the
+// remaining new vertices.
+func TestIncrementalSuffixGreedyOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 8; trial++ {
+		k := 15 + rng.Intn(20)
+		g := randGraph(rng, k, 3*k)
+		base := Order(g)
+		extra := 5 + rng.Intn(15)
+		g2 := grow(rng, g, extra)
+		w := 4
+		p := OrderIncremental(g2, base, Options{Window: w})
+		seq := p.Sequence()
+		placed := make([]bool, g2.NumNodes())
+		for _, v := range seq[:k] {
+			placed[v] = true
+		}
+		for i := k; i < len(seq); i++ {
+			lo := i - w
+			if lo < 0 {
+				lo = 0
+			}
+			window := seq[lo:i]
+			scoreOf := func(u graph.NodeID) int64 {
+				var s int64
+				for _, x := range window {
+					s += order.PairScore(g2, u, x)
+				}
+				return s
+			}
+			chosen := scoreOf(seq[i])
+			for u := k; u < g2.NumNodes(); u++ {
+				if !placed[u] {
+					if s := scoreOf(graph.NodeID(u)); s > chosen {
+						t.Fatalf("trial %d step %d: placed %d (score %d) over %d (score %d)",
+							trial, i, seq[i], chosen, u, s)
+					}
+				}
+			}
+			placed[seq[i]] = true
+		}
+	}
+}
+
+// Incremental placement beats appending the new vertices in arbitrary
+// order on the objective.
+func TestIncrementalBeatsNaiveAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := gen.BarabasiAlbert(300, 4, 8)
+	base := Order(g)
+	g2 := grow(rng, g, 150)
+	w := DefaultWindow
+	inc := OrderIncremental(g2, base, Options{})
+	naive := make(order.Permutation, g2.NumNodes())
+	copy(naive, base)
+	for u := 300; u < g2.NumNodes(); u++ {
+		naive[u] = graph.NodeID(u) // append in ID order
+	}
+	if fi, fn := order.Score(g2, inc, w), order.Score(g2, naive, w); fi <= fn {
+		t.Errorf("incremental F=%d not above naive append F=%d", fi, fn)
+	}
+}
+
+// Property: always a valid permutation preserving the prefix.
+func TestQuickIncrementalValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(30)
+		g := randGraph(rng, k, rng.Intn(4*k))
+		base := Order(g)
+		g2 := grow(rng, g, rng.Intn(20))
+		p := OrderIncremental(g2, base, Options{Window: 1 + rng.Intn(6)})
+		if len(p) != g2.NumNodes() || p.Validate() != nil {
+			return false
+		}
+		for u := 0; u < k; u++ {
+			if p[u] != base[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gorder/internal/gen"
+	"gorder/internal/order"
+)
+
+func TestQuickParallelValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(80)
+		g := randGraph(rng, n, rng.Intn(4*n))
+		for _, p := range []int{0, 1, 2, 4, n + 3} {
+			perm := OrderParallel(g, Options{}, p)
+			if len(perm) != n || perm.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelEmpty(t *testing.T) {
+	g := randGraph(rand.New(rand.NewSource(1)), 1, 0)
+	if p := OrderParallel(g, Options{}, 4); len(p) != 1 {
+		t.Errorf("singleton graph: %v", p)
+	}
+}
+
+func TestParallelDeterministic(t *testing.T) {
+	g := gen.BarabasiAlbert(600, 4, 3)
+	a := OrderParallel(g, Options{}, 4)
+	b := OrderParallel(g, Options{}, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("parallel ordering not deterministic")
+		}
+	}
+}
+
+// The partition-parallel approximation retains most of the objective:
+// within a factor of the sequential exact greedy, and far above
+// random.
+func TestParallelQuality(t *testing.T) {
+	g := gen.Web(4000, gen.DefaultWeb, 6)
+	w := DefaultWindow
+	exact := WindowScore(g, Order(g), w)
+	rnd := WindowScore(g, order.Random(g.NumNodes(), 1), w)
+	// Quality degrades gracefully with partition count: boundary pairs
+	// (especially hub-sibling relations spanning chunks) are
+	// forfeited, and chunks shrink as parallelism grows.
+	for _, tc := range []struct {
+		par      int
+		fraction float64
+	}{{2, 0.55}, {4, 0.45}, {8, 0.35}} {
+		par := WindowScore(g, OrderParallel(g, Options{}, tc.par), w)
+		if float64(par) < tc.fraction*float64(exact) {
+			t.Errorf("parallelism %d: F=%d below %.0f%% of exact %d",
+				tc.par, par, 100*tc.fraction, exact)
+		}
+		if par <= rnd*2 {
+			t.Errorf("parallelism %d: F=%d not well above random %d", tc.par, par, rnd)
+		}
+	}
+}
+
+// Every vertex of every chunk stays inside its chunk's position range
+// — partitions must not interleave.
+func TestParallelChunksContiguous(t *testing.T) {
+	g := gen.BarabasiAlbert(500, 4, 9)
+	const par = 5
+	perm := OrderParallel(g, Options{}, par)
+	seq := perm.Sequence()
+	chunk := (len(seq) + par - 1) / par
+	// Recompute the pre-pass partition and check membership per range.
+	pre := order.ChDFS(g).Sequence()
+	for c := 0; c*chunk < len(seq); c++ {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > len(seq) {
+			hi = len(seq)
+		}
+		want := map[uint32]bool{}
+		for _, v := range pre[lo:hi] {
+			want[v] = true
+		}
+		for _, v := range seq[lo:hi] {
+			if !want[v] {
+				t.Fatalf("chunk %d contains foreign vertex %d", c, v)
+			}
+		}
+	}
+}

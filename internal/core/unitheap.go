@@ -1,0 +1,174 @@
+// Package core implements the paper's primary contribution: the Gorder
+// vertex ordering. The greedy algorithm (GO in the paper) repeatedly
+// places the vertex with the highest locality score S to the last w
+// placed vertices. Its priority queue is the paper's unit heap — a
+// doubly linked list of vertices sorted by key, with per-key-class
+// head/tail pointers, so that the only operations the algorithm needs
+// (increment a key by one, decrement by one, extract the maximum) all
+// run in O(1).
+package core
+
+import "fmt"
+
+// UnitHeap is the paper's O(1) priority queue over items 0..n-1 with
+// integer keys. Items start with key 0. Keys change only in ±1 steps,
+// which is exactly what the windowed score maintenance produces.
+type UnitHeap struct {
+	key      []int32
+	prev     []int32 // doubly linked list over 0..n-1 plus two sentinels
+	next     []int32
+	headerOf map[int32]int32 // first item of each key class (closest to max)
+	tailOf   map[int32]int32 // last item of each key class
+	inHeap   []bool
+	size     int
+	sentHead int32
+	sentTail int32
+}
+
+// NewUnitHeap returns a heap containing items 0..n-1, all with key 0,
+// ordered by item number (smaller items extract first among ties).
+func NewUnitHeap(n int) *UnitHeap {
+	h := &UnitHeap{
+		key:      make([]int32, n),
+		prev:     make([]int32, n+2),
+		next:     make([]int32, n+2),
+		headerOf: make(map[int32]int32),
+		tailOf:   make(map[int32]int32),
+		inHeap:   make([]bool, n),
+		size:     n,
+		sentHead: int32(n),
+		sentTail: int32(n + 1),
+	}
+	last := h.sentHead
+	for i := 0; i < n; i++ {
+		h.next[last] = int32(i)
+		h.prev[i] = last
+		h.inHeap[i] = true
+		last = int32(i)
+	}
+	h.next[last] = h.sentTail
+	h.prev[h.sentTail] = last
+	if n > 0 {
+		h.headerOf[0] = 0
+		h.tailOf[0] = int32(n - 1)
+	}
+	return h
+}
+
+// Len returns the number of items still in the heap.
+func (h *UnitHeap) Len() int { return h.size }
+
+// Contains reports whether item is still in the heap.
+func (h *UnitHeap) Contains(item int) bool { return h.inHeap[item] }
+
+// Key returns item's current key. Valid only while the item is in the
+// heap.
+func (h *UnitHeap) Key(item int) int32 { return h.key[item] }
+
+func (h *UnitHeap) unlink(e int32) {
+	p, nx := h.prev[e], h.next[e]
+	h.next[p] = nx
+	h.prev[nx] = p
+}
+
+func (h *UnitHeap) insertBefore(e, f int32) {
+	p := h.prev[f]
+	h.next[p] = e
+	h.prev[e] = p
+	h.next[e] = f
+	h.prev[f] = e
+}
+
+func (h *UnitHeap) insertAfter(e, l int32) {
+	nx := h.next[l]
+	h.next[l] = e
+	h.prev[e] = l
+	h.next[e] = nx
+	h.prev[nx] = e
+}
+
+// detachFromClass fixes the class head/tail pointers before e leaves
+// its current key class.
+func (h *UnitHeap) detachFromClass(e int32) {
+	k := h.key[e]
+	hd, tl := h.headerOf[k], h.tailOf[k]
+	switch {
+	case hd == e && tl == e:
+		delete(h.headerOf, k)
+		delete(h.tailOf, k)
+	case hd == e:
+		h.headerOf[k] = h.next[e]
+	case tl == e:
+		h.tailOf[k] = h.prev[e]
+	}
+}
+
+// Inc increases item's key by one in O(1): the item moves to the
+// boundary between its old class and the class above.
+func (h *UnitHeap) Inc(item int) {
+	e := int32(item)
+	if !h.inHeap[item] {
+		panic(fmt.Sprintf("core: Inc of item %d not in heap", item))
+	}
+	k := h.key[e]
+	f := h.headerOf[k] // class is non-empty: e belongs to it
+	h.detachFromClass(e)
+	if f != e {
+		h.unlink(e)
+		h.insertBefore(e, f)
+	}
+	h.key[e] = k + 1
+	if _, ok := h.headerOf[k+1]; !ok {
+		h.headerOf[k+1] = e
+	}
+	h.tailOf[k+1] = e
+}
+
+// Dec decreases item's key by one in O(1), symmetric to Inc.
+func (h *UnitHeap) Dec(item int) {
+	e := int32(item)
+	if !h.inHeap[item] {
+		panic(fmt.Sprintf("core: Dec of item %d not in heap", item))
+	}
+	k := h.key[e]
+	l := h.tailOf[k]
+	h.detachFromClass(e)
+	if l != e {
+		h.unlink(e)
+		h.insertAfter(e, l)
+	}
+	h.key[e] = k - 1
+	if _, ok := h.tailOf[k-1]; !ok {
+		h.tailOf[k-1] = e
+	}
+	h.headerOf[k-1] = e
+}
+
+// ExtractMax removes and returns an item with the maximum key, or
+// ok=false if the heap is empty. Among equal keys the item that has
+// been at the front longest is taken, which makes extraction
+// deterministic.
+func (h *UnitHeap) ExtractMax() (item int, key int32, ok bool) {
+	e := h.next[h.sentHead]
+	if e == h.sentTail {
+		return 0, 0, false
+	}
+	h.detachFromClass(e)
+	h.unlink(e)
+	h.inHeap[e] = false
+	h.size--
+	return int(e), h.key[e], true
+}
+
+// Delete removes an arbitrary item from the heap (used to seed the
+// ordering with a chosen start vertex).
+func (h *UnitHeap) Delete(item int) {
+	e := int32(item)
+	if !h.inHeap[item] {
+		panic(fmt.Sprintf("core: Delete of item %d not in heap", item))
+	}
+	h.detachFromClass(e)
+	h.unlink(e)
+	h.inHeap[item] = false
+	h.size--
+}

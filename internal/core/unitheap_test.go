@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnitHeapInitialOrder(t *testing.T) {
+	h := NewUnitHeap(4)
+	if h.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", h.Len())
+	}
+	for want := 0; want < 4; want++ {
+		item, key, ok := h.ExtractMax()
+		if !ok || item != want || key != 0 {
+			t.Fatalf("ExtractMax = (%d, %d, %v), want (%d, 0, true)", item, key, ok, want)
+		}
+	}
+	if _, _, ok := h.ExtractMax(); ok {
+		t.Fatal("ExtractMax on empty heap returned ok")
+	}
+}
+
+func TestUnitHeapIncPromotes(t *testing.T) {
+	h := NewUnitHeap(3)
+	h.Inc(2)
+	item, key, ok := h.ExtractMax()
+	if !ok || item != 2 || key != 1 {
+		t.Fatalf("ExtractMax = (%d, %d, %v), want (2, 1, true)", item, key, ok)
+	}
+}
+
+func TestUnitHeapIncDecRoundTrip(t *testing.T) {
+	h := NewUnitHeap(3)
+	h.Inc(1)
+	h.Inc(1)
+	h.Dec(1)
+	if got := h.Key(1); got != 1 {
+		t.Fatalf("Key(1) = %d, want 1", got)
+	}
+	item, _, _ := h.ExtractMax()
+	if item != 1 {
+		t.Fatalf("max = %d, want 1", item)
+	}
+}
+
+func TestUnitHeapDelete(t *testing.T) {
+	h := NewUnitHeap(3)
+	h.Inc(0)
+	h.Delete(0)
+	if h.Contains(0) {
+		t.Fatal("deleted item still contained")
+	}
+	item, _, _ := h.ExtractMax()
+	if item == 0 {
+		t.Fatal("extracted a deleted item")
+	}
+	if h.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", h.Len())
+	}
+}
+
+func TestUnitHeapPanicsOnAbsent(t *testing.T) {
+	h := NewUnitHeap(2)
+	h.Delete(0)
+	for name, f := range map[string]func(){
+		"Inc":    func() { h.Inc(0) },
+		"Dec":    func() { h.Dec(0) },
+		"Delete": func() { h.Delete(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on absent item did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// queueImpl lets the same randomized test drive both queue
+// implementations.
+type queueImpl struct {
+	name string
+	make func(n int) maxQueue
+}
+
+var queueImpls = []queueImpl{
+	{"unit", func(n int) maxQueue { return NewUnitHeap(n) }},
+	{"lazy", func(n int) maxQueue { return newLazyHeap(n) }},
+}
+
+// Random operation sequences against a reference map: every extraction
+// must return a maximum-key item, keys must track exactly, sizes must
+// match.
+func TestQuickQueueAgainstReference(t *testing.T) {
+	for _, impl := range queueImpls {
+		impl := impl
+		t.Run(impl.name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				n := 1 + rng.Intn(100)
+				q := impl.make(n)
+				ref := make(map[int]int32)
+				for i := 0; i < n; i++ {
+					ref[i] = 0
+				}
+				for op := 0; op < 600; op++ {
+					item := rng.Intn(n)
+					switch rng.Intn(5) {
+					case 0, 1:
+						if _, ok := ref[item]; ok {
+							q.Inc(item)
+							ref[item]++
+						}
+					case 2:
+						// Only decrement above zero, as Gorder does.
+						if k, ok := ref[item]; ok && k > 0 {
+							q.Dec(item)
+							ref[item]--
+						}
+					case 3:
+						if len(ref) == 0 {
+							continue
+						}
+						it, key, ok := q.ExtractMax()
+						if !ok {
+							return false
+						}
+						want, present := ref[it]
+						if !present || want != key {
+							return false
+						}
+						for _, k := range ref {
+							if k > key {
+								return false
+							}
+						}
+						delete(ref, it)
+					case 4:
+						if _, ok := ref[item]; ok && rng.Intn(4) == 0 {
+							q.Delete(item)
+							delete(ref, item)
+						}
+					}
+					if q.Len() != len(ref) {
+						return false
+					}
+					for it, k := range ref {
+						if !q.Contains(it) || q.Key(it) != k {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// Draining a queue after random updates yields non-increasing keys.
+func TestQuickQueueDrainMonotone(t *testing.T) {
+	for _, impl := range queueImpls {
+		impl := impl
+		t.Run(impl.name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				n := 1 + rng.Intn(80)
+				q := impl.make(n)
+				for op := 0; op < 300; op++ {
+					item := rng.Intn(n)
+					if rng.Intn(3) == 0 && q.Key(item) > 0 && q.Contains(item) {
+						q.Dec(item)
+					} else if q.Contains(item) {
+						q.Inc(item)
+					}
+				}
+				prev := int32(1 << 30)
+				for q.Len() > 0 {
+					_, key, ok := q.ExtractMax()
+					if !ok || key > prev {
+						return false
+					}
+					prev = key
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,203 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gorder/internal/graph"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGUniformish(t *testing.T) {
+	rng := NewRNG(7)
+	buckets := make([]int, 10)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		buckets[rng.Intn(10)]++
+	}
+	for i, c := range buckets {
+		if math.Abs(float64(c)-draws/10) > draws/10*0.1 {
+			t.Errorf("bucket %d count %d deviates more than 10%%", i, c)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	rng := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		f := rng.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestPerm(t *testing.T) {
+	rng := NewRNG(3)
+	p := rng.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatal("Perm repeated a value")
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := NewRNG(5)
+	z := NewZipf(rng, 1000, 1.0)
+	counts := make([]int, 1000)
+	for i := 0; i < 50000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] < counts[500]*5 {
+		t.Errorf("Zipf not skewed: counts[0]=%d counts[500]=%d", counts[0], counts[500])
+	}
+}
+
+func checkSimple(t *testing.T, g *graph.Graph, name string) {
+	t.Helper()
+	for u := 0; u < g.NumNodes(); u++ {
+		adj := g.OutNeighbors(uint32(u))
+		for i, v := range adj {
+			if i > 0 && adj[i-1] == v {
+				t.Fatalf("%s: duplicate edge (%d,%d)", name, u, v)
+			}
+			if int(v) >= g.NumNodes() {
+				t.Fatalf("%s: edge endpoint out of range", name)
+			}
+		}
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(100, 300, 1)
+	checkSimple(t, g, "ER")
+	if g.NumNodes() != 100 {
+		t.Errorf("n = %d", g.NumNodes())
+	}
+	if g.NumEdges() < 250 || g.NumEdges() > 300 {
+		t.Errorf("m = %d, want roughly 300 (some dedup)", g.NumEdges())
+	}
+}
+
+func TestBarabasiAlbertSkew(t *testing.T) {
+	g := BarabasiAlbert(2000, 5, 2)
+	checkSimple(t, g, "BA")
+	s := graph.ComputeStats(g)
+	if s.MaxInDegree < 20 {
+		t.Errorf("BA max in-degree = %d; expected a hub", s.MaxInDegree)
+	}
+	if g.NumEdges() < 2000*5/2 {
+		t.Errorf("BA too few edges: %d", g.NumEdges())
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g := RMAT(10, 8, DefaultRMAT, 3)
+	checkSimple(t, g, "RMAT")
+	if g.NumNodes() != 1024 {
+		t.Errorf("n = %d, want 1024", g.NumNodes())
+	}
+	s := graph.ComputeStats(g)
+	if s.MaxInDegree < 3*int(s.AvgDegree) {
+		t.Errorf("RMAT in-degree not skewed: max %d avg %.1f", s.MaxInDegree, s.AvgDegree)
+	}
+}
+
+func TestWebLocality(t *testing.T) {
+	g := Web(5000, DefaultWeb, 4)
+	checkSimple(t, g, "Web")
+	// A meaningful fraction of edges must be "local" in the original
+	// numbering — that is the property the generator exists to model.
+	local, total := 0, 0
+	g.Edges(func(u, v uint32) bool {
+		d := int64(u) - int64(v)
+		if d < 0 {
+			d = -d
+		}
+		if d <= int64(DefaultWeb.Locality) {
+			local++
+		}
+		total++
+		return true
+	})
+	if total == 0 || float64(local)/float64(total) < 0.10 {
+		t.Errorf("web graph locality fraction %d/%d too low", local, total)
+	}
+	s := graph.ComputeStats(g)
+	if s.MaxInDegree < 10*int(s.AvgDegree) {
+		t.Errorf("web in-degree not heavy-tailed: max %d avg %.1f", s.MaxInDegree, s.AvgDegree)
+	}
+}
+
+func TestSBMCommunityStructure(t *testing.T) {
+	g := SBM(1000, 10, 8, 2, 5)
+	checkSimple(t, g, "SBM")
+	if g.NumEdges() < 1000*5 {
+		t.Errorf("SBM too sparse: m = %d", g.NumEdges())
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(4, 5)
+	checkSimple(t, g, "Grid")
+	if g.NumNodes() != 20 {
+		t.Errorf("n = %d", g.NumNodes())
+	}
+	// Interior vertex has 4 out-neighbours.
+	if d := g.OutDegree(uint32(1*5 + 2)); d != 4 {
+		t.Errorf("interior degree = %d, want 4", d)
+	}
+	// Corner has 2.
+	if d := g.OutDegree(0); d != 2 {
+		t.Errorf("corner degree = %d, want 2", d)
+	}
+}
+
+func TestRing(t *testing.T) {
+	g := Ring(5)
+	for i := 0; i < 5; i++ {
+		if !g.HasEdge(uint32(i), uint32((i+1)%5)) {
+			t.Fatalf("ring missing edge %d->%d", i, (i+1)%5)
+		}
+	}
+}
+
+// All generators are deterministic in the seed.
+func TestQuickGeneratorsDeterministic(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := BarabasiAlbert(200, 3, seed)
+		b := BarabasiAlbert(200, 3, seed)
+		if !a.Equal(b) {
+			return false
+		}
+		c := Web(200, DefaultWeb, seed)
+		d := Web(200, DefaultWeb, seed)
+		return c.Equal(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,269 @@
+package gen
+
+import (
+	"gorder/internal/graph"
+)
+
+// ErdosRenyi returns a directed G(n, m) graph: m edges drawn uniformly
+// with replacement (parallel edges collapsed). Self-loops are excluded.
+func ErdosRenyi(n, m int, seed uint64) *graph.Graph {
+	rng := NewRNG(seed)
+	edges := make([]graph.Edge, 0, m)
+	for len(edges) < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{From: uint32(u), To: uint32(v)})
+	}
+	return graph.FromEdgesDedup(n, edges)
+}
+
+// BarabasiAlbert grows a directed preferential-attachment graph: each
+// new vertex sends k edges to existing vertices chosen proportionally
+// to their current total degree, modelling a social network with a
+// heavy-tailed in-degree distribution. A fraction of reciprocal edges
+// is added, as real social graphs are partially mutual.
+func BarabasiAlbert(n, k int, seed uint64) *graph.Graph {
+	if k < 1 {
+		k = 1
+	}
+	if n < k+1 {
+		panic("gen: BarabasiAlbert needs n > k")
+	}
+	rng := NewRNG(seed)
+	// targets repeats each vertex once per incident edge, so sampling
+	// uniformly from it is degree-proportional sampling.
+	targets := make([]uint32, 0, 2*n*k)
+	edges := make([]graph.Edge, 0, n*k)
+	// Seed clique-ish core: k+1 vertices in a ring.
+	for i := 0; i <= k; i++ {
+		j := (i + 1) % (k + 1)
+		edges = append(edges, graph.Edge{From: uint32(i), To: uint32(j)})
+		targets = append(targets, uint32(i), uint32(j))
+	}
+	chosen := make([]uint32, 0, k)
+	for v := k + 1; v < n; v++ {
+		chosen = chosen[:0]
+	pick:
+		for len(chosen) < k {
+			t := targets[rng.Intn(len(targets))]
+			if int(t) == v {
+				continue
+			}
+			for _, c := range chosen {
+				if c == t {
+					continue pick
+				}
+			}
+			chosen = append(chosen, t)
+		}
+		for _, t := range chosen {
+			edges = append(edges, graph.Edge{From: uint32(v), To: t})
+			targets = append(targets, uint32(v), t)
+			if rng.Float64() < 0.3 { // reciprocal follow-back
+				edges = append(edges, graph.Edge{From: t, To: uint32(v)})
+				targets = append(targets, t, uint32(v))
+			}
+		}
+	}
+	return graph.FromEdgesDedup(n, edges)
+}
+
+// RMATConfig parameterises the recursive-matrix generator. The
+// defaults (0.57, 0.19, 0.19, 0.05) are the Graph500 parameters and
+// produce power-law graphs similar to web/social crawls.
+type RMATConfig struct {
+	A, B, C float64 // quadrant probabilities; D = 1-A-B-C
+}
+
+// DefaultRMAT is the Graph500 parameterisation.
+var DefaultRMAT = RMATConfig{A: 0.57, B: 0.19, C: 0.19}
+
+// RMAT generates a directed R-MAT graph with 2^scale vertices and
+// approximately edgeFactor * 2^scale edges (duplicates collapsed,
+// self-loops dropped).
+func RMAT(scale, edgeFactor int, cfg RMATConfig, seed uint64) *graph.Graph {
+	n := 1 << uint(scale)
+	m := edgeFactor * n
+	rng := NewRNG(seed)
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			p := rng.Float64()
+			switch {
+			case p < cfg.A:
+				// top-left: no bits set
+			case p < cfg.A+cfg.B:
+				v |= 1 << uint(bit)
+			case p < cfg.A+cfg.B+cfg.C:
+				u |= 1 << uint(bit)
+			default:
+				u |= 1 << uint(bit)
+				v |= 1 << uint(bit)
+			}
+		}
+		if u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{From: uint32(u), To: uint32(v)})
+	}
+	return graph.FromEdgesDedup(n, edges)
+}
+
+// WebConfig parameterises the copying-model web graph.
+type WebConfig struct {
+	OutDegree int     // mean links per page
+	PCopy     float64 // probability a link copies a prototype's target
+	Locality  int     // window of nearby pages for local links
+	PLocal    float64 // share of non-copied links that stay local
+}
+
+// DefaultWeb mirrors hyperlink-graph structure: most links are copied
+// (creating hubs/authorities) and a moderate share point to
+// lexicographic neighbours, because consecutive URLs on a site link
+// to each other. The parameters are tuned so the original crawl order
+// has clear but not overwhelming locality, as both papers observe in
+// real web datasets (Original beats Random handily yet loses to a
+// computed ordering).
+var DefaultWeb = WebConfig{OutDegree: 12, PCopy: 0.55, Locality: 32, PLocal: 0.3}
+
+// Web generates a directed web-style graph of n pages in "crawl
+// order". The copying model yields a power-law in-degree
+// distribution; link direction is mixed (pages link forward and
+// backward in crawl order, as real sites do); and the locality links
+// make the *original* vertex order already cache-friendly.
+func Web(n int, cfg WebConfig, seed uint64) *graph.Graph {
+	if cfg.OutDegree < 1 {
+		cfg.OutDegree = 1
+	}
+	if cfg.Locality < 1 {
+		cfg.Locality = 1
+	}
+	if cfg.PLocal == 0 {
+		cfg.PLocal = 0.3
+	}
+	rng := NewRNG(seed)
+	edges := make([]graph.Edge, 0, n*cfg.OutDegree)
+	links := make([][]uint32, n) // targets of each page, for copying
+	for v := 1; v < n; v++ {
+		deg := 1 + rng.Intn(2*cfg.OutDegree-1) // mean ≈ OutDegree
+		proto := rng.Intn(v)
+		for j := 0; j < deg; j++ {
+			var t int
+			switch {
+			case rng.Float64() < cfg.PCopy && len(links[proto]) > 0:
+				t = int(links[proto][rng.Intn(len(links[proto]))])
+			case rng.Float64() < cfg.PLocal:
+				// Local link to a nearby earlier page.
+				w := cfg.Locality
+				if w > v {
+					w = v
+				}
+				t = v - 1 - rng.Intn(w)
+			default:
+				t = rng.Intn(v)
+			}
+			if t == v {
+				continue
+			}
+			// Pages link both forward and backward in crawl order.
+			if rng.Float64() < 0.5 {
+				edges = append(edges, graph.Edge{From: uint32(v), To: uint32(t)})
+			} else {
+				edges = append(edges, graph.Edge{From: uint32(t), To: uint32(v)})
+			}
+			links[v] = append(links[v], uint32(t))
+		}
+	}
+	return graph.FromEdgesDedup(n, edges)
+}
+
+// SBM generates a stochastic-block-model graph: n vertices split into
+// blocks communities, with expected within-block degree degIn and
+// cross-block degree degOut per vertex. Vertex IDs are assigned in
+// shuffled order so community structure is *not* reflected in the
+// default numbering (unlike Web).
+func SBM(n, blocks int, degIn, degOut float64, seed uint64) *graph.Graph {
+	if blocks < 1 {
+		blocks = 1
+	}
+	rng := NewRNG(seed)
+	community := make([]int, n)
+	for i := range community {
+		community[i] = rng.Intn(blocks)
+	}
+	members := make([][]uint32, blocks)
+	for i, c := range community {
+		members[c] = append(members[c], uint32(i))
+	}
+	edges := make([]graph.Edge, 0, int(float64(n)*(degIn+degOut)))
+	for u := 0; u < n; u++ {
+		c := community[u]
+		din := poissonish(rng, degIn)
+		for j := 0; j < din && len(members[c]) > 1; j++ {
+			v := members[c][rng.Intn(len(members[c]))]
+			if int(v) != u {
+				edges = append(edges, graph.Edge{From: uint32(u), To: v})
+			}
+		}
+		dout := poissonish(rng, degOut)
+		for j := 0; j < dout; j++ {
+			v := rng.Intn(n)
+			if v != u && community[v] != c {
+				edges = append(edges, graph.Edge{From: uint32(u), To: uint32(v)})
+			}
+		}
+	}
+	return graph.FromEdgesDedup(n, edges)
+}
+
+// poissonish draws a cheap integer approximation of Poisson(mean):
+// floor(mean) plus a Bernoulli for the fractional part, then ±1 noise.
+func poissonish(rng *RNG, mean float64) int {
+	base := int(mean)
+	if rng.Float64() < mean-float64(base) {
+		base++
+	}
+	switch rng.Intn(4) {
+	case 0:
+		base++
+	case 1:
+		if base > 0 {
+			base--
+		}
+	}
+	return base
+}
+
+// Grid returns a rows×cols 4-neighbour mesh with edges in both
+// directions. Meshes have known-optimal bandwidth behaviour, which the
+// RCM tests rely on.
+func Grid(rows, cols int) *graph.Graph {
+	n := rows * cols
+	var edges []graph.Edge
+	at := func(r, c int) uint32 { return uint32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, graph.Edge{From: at(r, c), To: at(r, c+1)},
+					graph.Edge{From: at(r, c+1), To: at(r, c)})
+			}
+			if r+1 < rows {
+				edges = append(edges, graph.Edge{From: at(r, c), To: at(r+1, c)},
+					graph.Edge{From: at(r+1, c), To: at(r, c)})
+			}
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// Ring returns a directed cycle on n vertices.
+func Ring(n int) *graph.Graph {
+	edges := make([]graph.Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = graph.Edge{From: uint32(i), To: uint32((i + 1) % n)}
+	}
+	return graph.FromEdges(n, edges)
+}

@@ -1,0 +1,105 @@
+package gen
+
+import (
+	"testing"
+
+	"gorder/internal/graph"
+)
+
+func TestWattsStrogatzLattice(t *testing.T) {
+	// beta = 0: pure ring lattice, every vertex links to the next k.
+	g := WattsStrogatz(20, 3, 0, 1)
+	for v := 0; v < 20; v++ {
+		for j := 1; j <= 3; j++ {
+			if !g.HasEdge(uint32(v), uint32((v+j)%20)) {
+				t.Fatalf("lattice missing edge %d -> %d", v, (v+j)%20)
+			}
+		}
+	}
+	if g.NumEdges() != 60 {
+		t.Fatalf("m = %d, want 60", g.NumEdges())
+	}
+}
+
+func TestWattsStrogatzRewiring(t *testing.T) {
+	lattice := WattsStrogatz(500, 4, 0, 2)
+	rewired := WattsStrogatz(500, 4, 0.5, 2)
+	// Rewiring must break a substantial share of lattice edges.
+	broken := 0
+	lattice.Edges(func(u, v graph.NodeID) bool {
+		if !rewired.HasEdge(u, v) {
+			broken++
+		}
+		return true
+	})
+	if broken < 300 { // expect ≈ half of 2000
+		t.Errorf("only %d lattice edges rewired at beta=0.5", broken)
+	}
+	// No self-loops ever.
+	s := graph.ComputeStats(rewired)
+	if s.SelfLoops != 0 {
+		t.Errorf("rewired graph has %d self-loops", s.SelfLoops)
+	}
+}
+
+func TestWattsStrogatzDeterministic(t *testing.T) {
+	if !WattsStrogatz(200, 3, 0.3, 7).Equal(WattsStrogatz(200, 3, 0.3, 7)) {
+		t.Fatal("not deterministic in seed")
+	}
+}
+
+func TestWattsStrogatzLocalityDial(t *testing.T) {
+	// The point of the family: original-order locality degrades
+	// monotonically-ish with beta.
+	localShare := func(beta float64) float64 {
+		g := WattsStrogatz(2000, 4, beta, 5)
+		local, total := 0, 0
+		g.Edges(func(u, v graph.NodeID) bool {
+			d := int(u) - int(v)
+			if d < 0 {
+				d = -d
+			}
+			if d <= 8 || d >= 1992 { // ring wrap
+				local++
+			}
+			total++
+			return true
+		})
+		return float64(local) / float64(total)
+	}
+	l0, l5, l10 := localShare(0), localShare(0.5), localShare(1.0)
+	if !(l0 > l5 && l5 > l10) {
+		t.Errorf("locality not decreasing with beta: %v %v %v", l0, l5, l10)
+	}
+	if l0 < 0.99 {
+		t.Errorf("pure lattice locality = %v, want ≈1", l0)
+	}
+}
+
+func TestKronecker(t *testing.T) {
+	g := Kronecker(10, 8, DefaultKronecker, 3)
+	if g.NumNodes() != 1024 {
+		t.Fatalf("n = %d, want 1024", g.NumNodes())
+	}
+	s := graph.ComputeStats(g)
+	if s.SelfLoops != 0 {
+		t.Errorf("self-loops present: %d", s.SelfLoops)
+	}
+	// Skewed initiator → heavy-tailed degrees.
+	if s.MaxInDegree < 4*int(s.AvgDegree) {
+		t.Errorf("Kronecker not skewed: max in %d avg %.1f", s.MaxInDegree, s.AvgDegree)
+	}
+	if !g.Equal(Kronecker(10, 8, DefaultKronecker, 3)) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestKroneckerUniformInitiator(t *testing.T) {
+	// A flat initiator degenerates to (roughly) uniform random edges.
+	flat := KroneckerInitiator{{1, 1}, {1, 1}}
+	g := Kronecker(8, 8, flat, 9)
+	s := graph.ComputeStats(g)
+	if s.MaxInDegree > 8*int(s.AvgDegree) {
+		t.Errorf("flat initiator produced a hub: max in %d avg %.1f", s.MaxInDegree, s.AvgDegree)
+	}
+}

@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a directed edge used when constructing a Graph.
+type Edge struct {
+	From, To NodeID
+}
+
+// FromEdges builds a Graph with n vertices from the given directed
+// edge list. Parallel edges are kept (the benchmark datasets may
+// contain them); use FromEdgesDedup to collapse them. It panics if an
+// endpoint is out of range or n is negative.
+func FromEdges(n int, edges []Edge) *Graph {
+	return build(n, edges, false)
+}
+
+// FromEdgesDedup builds a Graph with n vertices, collapsing duplicate
+// edges. Self-loops are kept: the paper's kernels tolerate them and
+// some web crawls contain them.
+func FromEdgesDedup(n int, edges []Edge) *Graph {
+	return build(n, edges, true)
+}
+
+func build(n int, edges []Edge, dedup bool) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	for _, e := range edges {
+		if int(e.From) >= n || int(e.To) >= n {
+			panic(fmt.Sprintf("graph: edge (%d,%d) out of range for n=%d", e.From, e.To, n))
+		}
+	}
+	g := &Graph{n: n}
+	g.outIdx, g.outAdj = buildCSR(n, edges, false, dedup)
+	g.inIdx, g.inAdj = buildCSR(n, edges, true, dedup)
+	if dedup && len(g.outAdj) != len(g.inAdj) {
+		// Dedup must agree in both directions; a mismatch means a bug.
+		panic("graph: inconsistent dedup between directions")
+	}
+	return g
+}
+
+// buildCSR counting-sorts edges into a CSR array. With reverse set the
+// edge direction is flipped, producing the in-adjacency. Each
+// neighbour list comes out sorted ascending.
+func buildCSR(n int, edges []Edge, reverse, dedup bool) (idx []int64, adj []NodeID) {
+	idx = make([]int64, n+1)
+	for _, e := range edges {
+		src := e.From
+		if reverse {
+			src = e.To
+		}
+		idx[src+1]++
+	}
+	for i := 0; i < n; i++ {
+		idx[i+1] += idx[i]
+	}
+	adj = make([]NodeID, len(edges))
+	cursor := make([]int64, n)
+	copy(cursor, idx[:n])
+	for _, e := range edges {
+		src, dst := e.From, e.To
+		if reverse {
+			src, dst = dst, src
+		}
+		adj[cursor[src]] = dst
+		cursor[src]++
+	}
+	for u := 0; u < n; u++ {
+		lst := adj[idx[u]:idx[u+1]]
+		sort.Slice(lst, func(a, b int) bool { return lst[a] < lst[b] })
+	}
+	if !dedup {
+		return idx, adj
+	}
+	// Collapse duplicates in place, then compact.
+	newIdx := make([]int64, n+1)
+	w := int64(0)
+	for u := 0; u < n; u++ {
+		newIdx[u] = w
+		var prev NodeID
+		first := true
+		for _, v := range adj[idx[u]:idx[u+1]] {
+			if first || v != prev {
+				adj[w] = v
+				w++
+				prev, first = v, false
+			}
+		}
+	}
+	newIdx[n] = w
+	return newIdx, adj[:w:w]
+}
+
+// Undirected returns the symmetric closure of g: for every edge (u,v)
+// both (u,v) and (v,u) exist, with duplicates collapsed. Several
+// baseline orderings (RCM, SlashBurn, LDG) operate on this view.
+func (g *Graph) Undirected() *Graph {
+	edges := make([]Edge, 0, 2*len(g.outAdj))
+	g.Edges(func(u, v NodeID) bool {
+		edges = append(edges, Edge{u, v}, Edge{v, u})
+		return true
+	})
+	return FromEdgesDedup(g.n, edges)
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	cp := &Graph{n: g.n}
+	cp.outIdx = append([]int64(nil), g.outIdx...)
+	cp.outAdj = append([]NodeID(nil), g.outAdj...)
+	cp.inIdx = append([]int64(nil), g.inIdx...)
+	cp.inAdj = append([]NodeID(nil), g.inAdj...)
+	return cp
+}
+
+// Equal reports whether two graphs have identical vertex counts and
+// adjacency structure.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.n != h.n || len(g.outAdj) != len(h.outAdj) {
+		return false
+	}
+	for i := range g.outIdx {
+		if g.outIdx[i] != h.outIdx[i] {
+			return false
+		}
+	}
+	for i := range g.outAdj {
+		if g.outAdj[i] != h.outAdj[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The datasets the paper downloads come as whitespace-separated edge
+// lists ("u v" per line, # comments). We support that format plus a
+// compact binary CSR format for fast reloading of generated datasets.
+
+// ReadEdgeList parses a text edge list. Lines starting with '#' or '%'
+// are comments; blank lines are skipped. The vertex count is
+// max(endpoint)+1 — the convention SNAP and Konect files follow.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	maxID := int64(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		// Trim leading spaces and skip comments/blanks.
+		i := 0
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i == len(line) || line[i] == '#' || line[i] == '%' {
+			continue
+		}
+		u, rest, err := parseUint(line[i:])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		v, _, err := parseUint(rest)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, Edge{NodeID(u), NodeID(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return FromEdges(int(maxID+1), edges), nil
+}
+
+// parseUint reads one decimal field from b, returning the value and
+// the remainder after the field and any following separator space.
+func parseUint(b []byte) (int64, []byte, error) {
+	i := 0
+	for i < len(b) && (b[i] == ' ' || b[i] == '\t') {
+		i++
+	}
+	start := i
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		i++
+	}
+	if i == start {
+		return 0, nil, errors.New("expected integer field")
+	}
+	v, err := strconv.ParseInt(string(b[start:i]), 10, 64)
+	if err != nil {
+		return 0, nil, err
+	}
+	if v > int64(^NodeID(0)) {
+		return 0, nil, fmt.Errorf("vertex id %d exceeds 32 bits", v)
+	}
+	return v, b[i:], nil
+}
+
+// WriteEdgeList writes g as a text edge list with a descriptive header
+// comment, in CSR order.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# directed graph: %d nodes %d edges\n", g.n, g.NumEdges()); err != nil {
+		return err
+	}
+	var werr error
+	g.Edges(func(u, v NodeID) bool {
+		_, werr = fmt.Fprintf(bw, "%d %d\n", u, v)
+		return werr == nil
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+var binaryMagic = [8]byte{'G', 'O', 'R', 'D', 'C', 'S', 'R', '1'}
+
+// WriteBinary writes g in the compact binary CSR format: magic, n, m,
+// then the out-offset and out-adjacency arrays little-endian. The
+// in-direction is rebuilt on load.
+func (g *Graph) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	hdr := [2]int64{int64(g.n), g.NumEdges()}
+	if err := binary.Write(bw, binary.LittleEndian, hdr[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.outIdx); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.outAdj); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary loads a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, errors.New("graph: not a gorder binary graph file")
+	}
+	var hdr [2]int64
+	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	n, m := hdr[0], hdr[1]
+	if n < 0 || m < 0 || n > 1<<32 {
+		return nil, fmt.Errorf("graph: implausible header n=%d m=%d", n, m)
+	}
+	outIdx := make([]int64, n+1)
+	if err := binary.Read(br, binary.LittleEndian, outIdx); err != nil {
+		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+	}
+	if outIdx[0] != 0 || outIdx[n] != m {
+		return nil, errors.New("graph: corrupt offset array")
+	}
+	for i := int64(0); i < n; i++ {
+		if outIdx[i] > outIdx[i+1] {
+			return nil, errors.New("graph: non-monotone offset array")
+		}
+	}
+	outAdj := make([]NodeID, m)
+	if err := binary.Read(br, binary.LittleEndian, outAdj); err != nil {
+		return nil, fmt.Errorf("graph: reading adjacency: %w", err)
+	}
+	edges := make([]Edge, 0, m)
+	for u := int64(0); u < n; u++ {
+		for _, v := range outAdj[outIdx[u]:outIdx[u+1]] {
+			if int64(v) >= n {
+				return nil, fmt.Errorf("graph: neighbour %d out of range", v)
+			}
+			edges = append(edges, Edge{NodeID(u), v})
+		}
+	}
+	return FromEdges(int(n), edges), nil
+}

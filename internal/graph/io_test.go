@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# a comment
+% another comment
+
+0 1
+0	2
+  1 3
+3 0
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("n=%d m=%d, want 4, 4", g.NumNodes(), g.NumEdges())
+	}
+	if !g.HasEdge(0, 2) || !g.HasEdge(3, 0) {
+		t.Error("missing parsed edges")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, bad := range []string{"0", "a b", "0 x", "0 99999999999999999999"} {
+		if _, err := ReadEdgeList(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadEdgeList(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := diamond()
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Error("edge list round trip changed the graph")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := diamond()
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Error("binary round trip changed the graph")
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("not a graph file at all"),
+		append(append([]byte{}, binaryMagic[:]...), 0xFF), // truncated header
+	}
+	for i, b := range cases {
+		if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+			t.Errorf("case %d: ReadBinary succeeded on garbage", i)
+		}
+	}
+}
+
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		g := randomGraph(rng, n, rng.Intn(5*n))
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			return false
+		}
+		h, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return g.Equal(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEdgeListRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := randomGraph(rng, n, 1+rng.Intn(4*n))
+		// Ensure the max vertex appears so n survives the trip: add a
+		// self-loop on n-1.
+		g = FromEdges(n, appendEdges(g, Edge{NodeID(n - 1), NodeID(n - 1)}))
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			return false
+		}
+		h, err := ReadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		return g.Equal(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func appendEdges(g *Graph, extra ...Edge) []Edge {
+	var edges []Edge
+	g.Edges(func(u, v NodeID) bool {
+		edges = append(edges, Edge{u, v})
+		return true
+	})
+	return append(edges, extra...)
+}

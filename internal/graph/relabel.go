@@ -1,0 +1,26 @@
+package graph
+
+import "fmt"
+
+// Relabel returns a new graph in which vertex u of g becomes vertex
+// perm[u]. perm must be a permutation of 0..N-1; Relabel panics
+// otherwise. This is the operation every ordering method feeds:
+// compute a permutation, relabel, and run the kernels on the result.
+func (g *Graph) Relabel(perm []NodeID) *Graph {
+	if len(perm) != g.n {
+		panic(fmt.Sprintf("graph: permutation length %d for graph with %d vertices", len(perm), g.n))
+	}
+	seen := make([]bool, g.n)
+	for _, p := range perm {
+		if int(p) >= g.n || seen[p] {
+			panic("graph: not a permutation")
+		}
+		seen[p] = true
+	}
+	edges := make([]Edge, 0, len(g.outAdj))
+	g.Edges(func(u, v NodeID) bool {
+		edges = append(edges, Edge{perm[u], perm[v]})
+		return true
+	})
+	return FromEdges(g.n, edges)
+}

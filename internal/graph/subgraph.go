@@ -1,0 +1,29 @@
+package graph
+
+// InducedSubgraph returns the subgraph induced by the given vertices
+// (which must be distinct) and the mapping from new local IDs back to
+// the original ones: local vertex i corresponds to vertices[i].
+// Edges with exactly both endpoints in the set are kept.
+func (g *Graph) InducedSubgraph(vertices []NodeID) (sub *Graph, toGlobal []NodeID) {
+	toLocal := make(map[NodeID]NodeID, len(vertices))
+	toGlobal = append([]NodeID(nil), vertices...)
+	for i, v := range vertices {
+		if int(v) >= g.n {
+			panic("graph: induced vertex out of range")
+		}
+		if _, dup := toLocal[v]; dup {
+			panic("graph: duplicate vertex in induced set")
+		}
+		toLocal[v] = NodeID(i)
+	}
+	var edges []Edge
+	for _, u := range vertices {
+		lu := toLocal[u]
+		for _, v := range g.OutNeighbors(u) {
+			if lv, ok := toLocal[v]; ok {
+				edges = append(edges, Edge{From: lu, To: lv})
+			}
+		}
+	}
+	return FromEdges(len(vertices), edges), toGlobal
+}

@@ -1,0 +1,191 @@
+// Package mem provides typed array views whose every load and store
+// is reported to a cache.Hierarchy at a realistic byte address. The
+// traced kernel variants in internal/algos are written against these
+// arrays, so the simulator observes exactly the data-access stream the
+// native kernels produce over the same memory layout.
+//
+// A Space is a bump allocator for a synthetic address space: arrays
+// are laid out contiguously and cache-line aligned, mimicking how the
+// Go runtime would place the corresponding slices.
+package mem
+
+import "gorder/internal/cache"
+
+// Space allocates addresses in a synthetic process address space and
+// carries the hierarchy every array reports to.
+type Space struct {
+	h    *cache.Hierarchy
+	next uint64
+}
+
+// NewSpace returns an empty address space backed by h. A non-zero
+// base keeps line 0 out of the picture.
+func NewSpace(h *cache.Hierarchy) *Space {
+	return &Space{h: h, next: 1 << 12}
+}
+
+// Hierarchy returns the cache hierarchy this space reports to.
+func (s *Space) Hierarchy() *cache.Hierarchy { return s.h }
+
+const lineAlign = 64
+
+// alloc reserves size bytes aligned to a cache line and returns the
+// base address.
+func (s *Space) alloc(size int64) uint64 {
+	base := (s.next + lineAlign - 1) &^ uint64(lineAlign-1)
+	s.next = base + uint64(size)
+	return base
+}
+
+// U32 is a traced []uint32.
+type U32 struct {
+	data []uint32
+	base uint64
+	h    *cache.Hierarchy
+}
+
+// NewU32 allocates a zeroed traced array of n uint32 values.
+func (s *Space) NewU32(n int) U32 {
+	return U32{data: make([]uint32, n), base: s.alloc(int64(n) * 4), h: s.h}
+}
+
+// WrapU32 places an existing slice into the space without copying —
+// used to register a graph's CSR arrays.
+func (s *Space) WrapU32(d []uint32) U32 {
+	return U32{data: d, base: s.alloc(int64(len(d)) * 4), h: s.h}
+}
+
+// Len returns the element count.
+func (a U32) Len() int { return len(a.data) }
+
+// Get loads element i through the cache model.
+func (a U32) Get(i int) uint32 {
+	a.h.Access(a.base + uint64(i)*4)
+	return a.data[i]
+}
+
+// Set stores element i through the cache model.
+func (a U32) Set(i int, v uint32) {
+	a.h.Access(a.base + uint64(i)*4)
+	a.data[i] = v
+}
+
+// I32 is a traced []int32.
+type I32 struct {
+	data []int32
+	base uint64
+	h    *cache.Hierarchy
+}
+
+// NewI32 allocates a zeroed traced array of n int32 values.
+func (s *Space) NewI32(n int) I32 {
+	return I32{data: make([]int32, n), base: s.alloc(int64(n) * 4), h: s.h}
+}
+
+// Len returns the element count.
+func (a I32) Len() int { return len(a.data) }
+
+// Get loads element i through the cache model.
+func (a I32) Get(i int) int32 {
+	a.h.Access(a.base + uint64(i)*4)
+	return a.data[i]
+}
+
+// Set stores element i through the cache model.
+func (a I32) Set(i int, v int32) {
+	a.h.Access(a.base + uint64(i)*4)
+	a.data[i] = v
+}
+
+// Fill sets every element to v, touching memory like a memset loop.
+func (a I32) Fill(v int32) {
+	for i := range a.data {
+		a.Set(i, v)
+	}
+}
+
+// I64 is a traced []int64.
+type I64 struct {
+	data []int64
+	base uint64
+	h    *cache.Hierarchy
+}
+
+// NewI64 allocates a zeroed traced array of n int64 values.
+func (s *Space) NewI64(n int) I64 {
+	return I64{data: make([]int64, n), base: s.alloc(int64(n) * 8), h: s.h}
+}
+
+// WrapI64 places an existing slice into the space without copying.
+func (s *Space) WrapI64(d []int64) I64 {
+	return I64{data: d, base: s.alloc(int64(len(d)) * 8), h: s.h}
+}
+
+// Len returns the element count.
+func (a I64) Len() int { return len(a.data) }
+
+// Get loads element i through the cache model.
+func (a I64) Get(i int) int64 {
+	a.h.Access(a.base + uint64(i)*8)
+	return a.data[i]
+}
+
+// Set stores element i through the cache model.
+func (a I64) Set(i int, v int64) {
+	a.h.Access(a.base + uint64(i)*8)
+	a.data[i] = v
+}
+
+// F64 is a traced []float64.
+type F64 struct {
+	data []float64
+	base uint64
+	h    *cache.Hierarchy
+}
+
+// NewF64 allocates a zeroed traced array of n float64 values.
+func (s *Space) NewF64(n int) F64 {
+	return F64{data: make([]float64, n), base: s.alloc(int64(n) * 8), h: s.h}
+}
+
+// Len returns the element count.
+func (a F64) Len() int { return len(a.data) }
+
+// Get loads element i through the cache model.
+func (a F64) Get(i int) float64 {
+	a.h.Access(a.base + uint64(i)*8)
+	return a.data[i]
+}
+
+// Set stores element i through the cache model.
+func (a F64) Set(i int, v float64) {
+	a.h.Access(a.base + uint64(i)*8)
+	a.data[i] = v
+}
+
+// Bool is a traced []bool (one byte per element, like Go's).
+type Bool struct {
+	data []bool
+	base uint64
+	h    *cache.Hierarchy
+}
+
+// NewBool allocates a zeroed traced array of n bools.
+func (s *Space) NewBool(n int) Bool {
+	return Bool{data: make([]bool, n), base: s.alloc(int64(n)), h: s.h}
+}
+
+// Len returns the element count.
+func (a Bool) Len() int { return len(a.data) }
+
+// Get loads element i through the cache model.
+func (a Bool) Get(i int) bool {
+	a.h.Access(a.base + uint64(i))
+	return a.data[i]
+}
+
+// Set stores element i through the cache model.
+func (a Bool) Set(i int, v bool) {
+	a.h.Access(a.base + uint64(i))
+	a.data[i] = v
+}

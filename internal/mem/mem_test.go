@@ -1,0 +1,112 @@
+package mem
+
+import (
+	"testing"
+
+	"gorder/internal/cache"
+)
+
+func newSpace() (*Space, *cache.Hierarchy) {
+	h := cache.New(cache.Config{
+		Levels:        []cache.LevelConfig{{Name: "L1", Size: 1 << 10, LineSize: 64, Ways: 4, Latency: 1}},
+		MemoryLatency: 100,
+	})
+	return NewSpace(h), h
+}
+
+func TestU32RoundTrip(t *testing.T) {
+	s, h := newSpace()
+	a := s.NewU32(10)
+	a.Set(3, 42)
+	if got := a.Get(3); got != 42 {
+		t.Fatalf("Get = %d, want 42", got)
+	}
+	if h.Report().Accesses != 2 {
+		t.Fatalf("accesses = %d, want 2", h.Report().Accesses)
+	}
+	if a.Len() != 10 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+}
+
+func TestAllTypes(t *testing.T) {
+	s, h := newSpace()
+	i32 := s.NewI32(4)
+	i64 := s.NewI64(4)
+	f64 := s.NewF64(4)
+	b := s.NewBool(4)
+	i32.Set(0, -5)
+	i64.Set(1, 1<<40)
+	f64.Set(2, 3.5)
+	b.Set(3, true)
+	if i32.Get(0) != -5 || i64.Get(1) != 1<<40 || f64.Get(2) != 3.5 || !b.Get(3) {
+		t.Fatal("typed round trips failed")
+	}
+	if i32.Len() != 4 || i64.Len() != 4 || f64.Len() != 4 || b.Len() != 4 {
+		t.Fatal("lengths wrong")
+	}
+	if h.Report().Accesses != 8 {
+		t.Fatalf("accesses = %d, want 8", h.Report().Accesses)
+	}
+}
+
+func TestFill(t *testing.T) {
+	s, h := newSpace()
+	a := s.NewI32(7)
+	a.Fill(-1)
+	for i := 0; i < 7; i++ {
+		if a.data[i] != -1 {
+			t.Fatal("Fill missed an element")
+		}
+	}
+	if h.Report().Accesses != 7 {
+		t.Fatalf("Fill accesses = %d, want 7", h.Report().Accesses)
+	}
+}
+
+func TestArraysDoNotShareLines(t *testing.T) {
+	s, h := newSpace()
+	a := s.NewU32(1)
+	b := s.NewU32(1)
+	a.Get(0)
+	b.Get(0)
+	r := h.Report()
+	// Two distinct line-aligned arrays → two cold misses.
+	if r.Levels[0].Misses != 2 {
+		t.Fatalf("misses = %d, want 2 (arrays must not share a line)", r.Levels[0].Misses)
+	}
+}
+
+func TestSpatialLocalityWithinArray(t *testing.T) {
+	s, h := newSpace()
+	a := s.NewU32(16) // exactly one 64-byte line
+	for i := 0; i < 16; i++ {
+		a.Get(i)
+	}
+	r := h.Report()
+	if r.Levels[0].Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (16 u32 on one line)", r.Levels[0].Misses)
+	}
+}
+
+func TestWrapSharesBacking(t *testing.T) {
+	s, _ := newSpace()
+	backing := []uint32{1, 2, 3}
+	a := s.WrapU32(backing)
+	a.Set(1, 99)
+	if backing[1] != 99 {
+		t.Fatal("WrapU32 copied instead of aliasing")
+	}
+	d := []int64{5, 6}
+	w := s.WrapI64(d)
+	if w.Get(1) != 6 {
+		t.Fatal("WrapI64 wrong value")
+	}
+}
+
+func TestHierarchyAccessor(t *testing.T) {
+	s, h := newSpace()
+	if s.Hierarchy() != h {
+		t.Fatal("Hierarchy() did not return the backing hierarchy")
+	}
+}

@@ -1,0 +1,110 @@
+package order
+
+import (
+	"math"
+
+	"gorder/internal/graph"
+)
+
+// The quality functions different orderings optimise. These are
+// evaluation tools: MinLA/MinLogA minimise LinearCost/LogCost, RCM
+// targets Bandwidth, and Gorder maximises Score.
+
+// LinearCost returns the MinLA energy sum over edges of |pi(u)-pi(v)|.
+// Self-loops contribute zero.
+func LinearCost(g *graph.Graph, p Permutation) float64 {
+	total := 0.0
+	g.Edges(func(u, v graph.NodeID) bool {
+		total += math.Abs(float64(p[u]) - float64(p[v]))
+		return true
+	})
+	return total
+}
+
+// LogCost returns the MinLogA energy sum over edges of
+// log(|pi(u)-pi(v)|). Self-loops and duplicate positions are skipped
+// (log 0 is undefined; self-loops are the only way distance can be 0).
+func LogCost(g *graph.Graph, p Permutation) float64 {
+	total := 0.0
+	g.Edges(func(u, v graph.NodeID) bool {
+		if d := math.Abs(float64(p[u]) - float64(p[v])); d > 0 {
+			total += math.Log(d)
+		}
+		return true
+	})
+	return total
+}
+
+// Bandwidth returns max over edges of |pi(u)-pi(v)|, the quantity RCM
+// is designed to reduce.
+func Bandwidth(g *graph.Graph, p Permutation) int64 {
+	var bw int64
+	g.Edges(func(u, v graph.NodeID) bool {
+		d := int64(p[u]) - int64(p[v])
+		if d < 0 {
+			d = -d
+		}
+		if d > bw {
+			bw = d
+		}
+		return true
+	})
+	return bw
+}
+
+// Score returns the Gorder objective F(pi) with window w:
+//
+//	F(pi) = sum over pairs with 0 < pi(u)-pi(v) <= w of S(u, v)
+//	S(u, v) = Ss(u, v) + Sn(u, v)
+//
+// where Sn counts edges between u and v (0..2) and Ss counts their
+// common in-neighbours. This is an independent O(n·w·d) evaluation
+// used to validate and benchmark the greedy algorithm in
+// internal/core, not the algorithm's own bookkeeping.
+func Score(g *graph.Graph, p Permutation, w int) int64 {
+	seq := p.Sequence()
+	var total int64
+	for i := range seq {
+		for j := i - w; j < i; j++ {
+			if j < 0 {
+				continue
+			}
+			total += PairScore(g, seq[i], seq[j])
+		}
+	}
+	return total
+}
+
+// PairScore returns S(u, v) = Ss(u, v) + Sn(u, v) for a single vertex
+// pair.
+func PairScore(g *graph.Graph, u, v graph.NodeID) int64 {
+	var s int64
+	if g.HasEdge(u, v) {
+		s++
+	}
+	if g.HasEdge(v, u) {
+		s++
+	}
+	return s + commonInNeighbors(g, u, v)
+}
+
+// commonInNeighbors counts |N_in(u) ∩ N_in(v)| by merging the two
+// sorted in-neighbour lists.
+func commonInNeighbors(g *graph.Graph, u, v graph.NodeID) int64 {
+	a, b := g.InNeighbors(u), g.InNeighbors(v)
+	var count int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			count++
+			i++
+			j++
+		}
+	}
+	return count
+}

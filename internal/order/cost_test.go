@@ -1,0 +1,134 @@
+package order
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gorder/internal/graph"
+)
+
+func path3() *graph.Graph {
+	return graph.FromEdges(3, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}})
+}
+
+func TestLinearCost(t *testing.T) {
+	g := path3()
+	if got := LinearCost(g, Identity(3)); got != 2 {
+		t.Errorf("LinearCost(identity) = %v, want 2", got)
+	}
+	// Order 1,0,2: edge 0-1 distance 1, edge 1-2 distance 2.
+	if got := LinearCost(g, Permutation{1, 0, 2}); got != 3 {
+		t.Errorf("LinearCost = %v, want 3", got)
+	}
+}
+
+func TestLogCost(t *testing.T) {
+	g := path3()
+	if got := LogCost(g, Identity(3)); got != 0 { // log 1 + log 1
+		t.Errorf("LogCost(identity) = %v, want 0", got)
+	}
+	want := math.Log(2)
+	if got := LogCost(g, Permutation{1, 0, 2}); math.Abs(got-want) > 1e-12 {
+		t.Errorf("LogCost = %v, want %v", got, want)
+	}
+}
+
+func TestLogCostSelfLoop(t *testing.T) {
+	g := graph.FromEdges(2, []graph.Edge{{From: 0, To: 0}, {From: 0, To: 1}})
+	got := LogCost(g, Identity(2))
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("LogCost with self-loop = %v", got)
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{From: 0, To: 3}, {From: 1, To: 2}})
+	if got := Bandwidth(g, Identity(4)); got != 3 {
+		t.Errorf("Bandwidth = %d, want 3", got)
+	}
+}
+
+func TestPairScore(t *testing.T) {
+	// 2 -> 0, 2 -> 1 (common in-neighbour), plus 0 -> 1.
+	g := graph.FromEdges(3, []graph.Edge{{From: 2, To: 0}, {From: 2, To: 1}, {From: 0, To: 1}})
+	if got := PairScore(g, 0, 1); got != 2 { // Ss=1 (vertex 2), Sn=1 (edge 0->1)
+		t.Errorf("PairScore(0,1) = %d, want 2", got)
+	}
+	if got := PairScore(g, 1, 0); got != 2 { // symmetric
+		t.Errorf("PairScore(1,0) = %d, want 2", got)
+	}
+	// Mutual edges count twice in Sn.
+	g2 := graph.FromEdges(2, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 0}})
+	if got := PairScore(g2, 0, 1); got != 2 {
+		t.Errorf("mutual PairScore = %d, want 2", got)
+	}
+}
+
+func TestScoreWindow(t *testing.T) {
+	// Path 0->1->2 with identity order.
+	g := path3()
+	// w=1: pairs (1,0) and (2,1): each Sn=1, Ss=0 → F=2.
+	if got := Score(g, Identity(3), 1); got != 2 {
+		t.Errorf("Score w=1 = %d, want 2", got)
+	}
+	// w=2 adds pair (2,0): Sn=0, Ss=0 (in-neighbour sets {1} vs {0} wait:
+	// in(2) = {1}, in(0) = {} → 0). F stays 2.
+	if got := Score(g, Identity(3), 2); got != 2 {
+		t.Errorf("Score w=2 = %d, want 2", got)
+	}
+}
+
+func TestScoreSymmetricUnderReversal(t *testing.T) {
+	// F counts unordered close pairs, so reversing the order preserves it.
+	rng := rand.New(rand.NewSource(9))
+	g := randGraph(rng, 30, 120)
+	p := Identity(30)
+	rev := make(Permutation, 30)
+	for i := range rev {
+		rev[i] = graph.NodeID(29 - i)
+	}
+	for _, w := range []int{1, 3, 7} {
+		if a, b := Score(g, p, w), Score(g, rev, w); a != b {
+			t.Errorf("w=%d: Score(id)=%d != Score(reversed)=%d", w, a, b)
+		}
+	}
+}
+
+// Score with w >= n-1 is order-independent (every pair is in window).
+func TestQuickScoreFullWindowInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := randGraph(rng, n, rng.Intn(3*n))
+		p := Permutation(randPerm(rng, n))
+		q := Permutation(randPerm(rng, n))
+		return Score(g, p, n-1) == Score(g, q, n-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Score is monotone non-decreasing in the window size.
+func TestQuickScoreMonotoneInWindow(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := randGraph(rng, n, rng.Intn(3*n))
+		p := Permutation(randPerm(rng, n))
+		prev := int64(0)
+		for w := 1; w < n; w++ {
+			s := Score(g, p, w)
+			if s < prev {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gorder/internal/gen"
+	"gorder/internal/graph"
+)
+
+func TestQuickHubOrderingsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(80)
+		g := randGraph(rng, n, rng.Intn(4*n))
+		for _, p := range []Permutation{HubSort(g), DBG(g)} {
+			if len(p) != n || p.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHubSortPlacesHubsFirst(t *testing.T) {
+	// Star into vertex 7: it is the only above-average in-degree vertex.
+	edges := make([]graph.Edge, 0, 8)
+	for i := 0; i < 6; i++ {
+		edges = append(edges, graph.Edge{From: graph.NodeID(i), To: 7})
+	}
+	g := graph.FromEdges(8, edges)
+	p := HubSort(g)
+	if p[7] != 0 {
+		t.Errorf("hub position = %d, want 0", p[7])
+	}
+	// Cold vertices keep their relative order after the hub block.
+	for i := 0; i < 5; i++ {
+		if p[i] >= p[i+1] && i+1 != 7 {
+			t.Errorf("cold order broken: p[%d]=%d p[%d]=%d", i, p[i], i+1, p[i+1])
+		}
+	}
+}
+
+func TestHubSortEmpty(t *testing.T) {
+	if len(HubSort(graph.FromEdges(0, nil))) != 0 || len(DBG(graph.FromEdges(0, nil))) != 0 {
+		t.Error("empty graph mishandled")
+	}
+}
+
+func TestDBGPreservesIntraClassOrder(t *testing.T) {
+	// Uniform degrees → single class → identity.
+	g := gen.Ring(50)
+	p := DBG(g)
+	for i, v := range p {
+		if int(v) != i {
+			t.Fatalf("uniform-degree DBG not identity: %v", p)
+		}
+	}
+}
+
+func TestDBGHotFirst(t *testing.T) {
+	g := gen.BarabasiAlbert(2000, 5, 3)
+	p := DBG(g)
+	// The max-in-degree vertex must land in the first few percent.
+	hub := graph.NodeID(0)
+	for v := 1; v < g.NumNodes(); v++ {
+		if g.InDegree(graph.NodeID(v)) > g.InDegree(hub) {
+			hub = graph.NodeID(v)
+		}
+	}
+	if int(p[hub]) > g.NumNodes()/10 {
+		t.Errorf("hottest vertex at position %d of %d", p[hub], g.NumNodes())
+	}
+}
+
+func TestHubOrderingsBeatRandomOnScore(t *testing.T) {
+	g := gen.BarabasiAlbert(1500, 5, 9)
+	w := 5
+	rnd := Score(g, Random(g.NumNodes(), 1), w)
+	if s := Score(g, HubSort(g), w); s <= rnd {
+		t.Errorf("HubSort F=%d not above random %d", s, rnd)
+	}
+	if s := Score(g, DBG(g), w); s <= rnd {
+		t.Errorf("DBG F=%d not above random %d", s, rnd)
+	}
+}

@@ -1,0 +1,75 @@
+package order
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPermutationRoundTrip(t *testing.T) {
+	p := Permutation{2, 0, 1, 3}
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadPermutation(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			t.Fatalf("round trip = %v, want %v", q, p)
+		}
+	}
+}
+
+func TestReadPermutationRejects(t *testing.T) {
+	cases := map[string]string{
+		"non-numeric":  "0\nx\n",
+		"duplicate":    "0\n0\n",
+		"out of range": "0\n5\n",
+		"negative":     "-1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadPermutation(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadPermutationSkipsBlankLines(t *testing.T) {
+	p, err := ReadPermutation(strings.NewReader("1\n\n0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 2 || p[0] != 1 || p[1] != 0 {
+		t.Fatalf("parsed %v", p)
+	}
+}
+
+func TestQuickPermutationIORoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		p := Permutation(randPerm(rng, n))
+		var buf bytes.Buffer
+		if _, err := p.WriteTo(&buf); err != nil {
+			return false
+		}
+		q, err := ReadPermutation(&buf)
+		if err != nil || len(q) != n {
+			return false
+		}
+		for i := range p {
+			if p[i] != q[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

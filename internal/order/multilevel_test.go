@@ -1,0 +1,104 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gorder/internal/gen"
+	"gorder/internal/graph"
+)
+
+func TestQuickMultilevelValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		g := randGraph(rng, n, rng.Intn(4*n))
+		for _, coarsenTo := range []int{0, 4, 32} {
+			p := Multilevel(g, MultilevelOptions{CoarsenTo: coarsenTo})
+			if len(p) != n || p.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultilevelEmptyAndTiny(t *testing.T) {
+	if len(Multilevel(graph.FromEdges(0, nil), MultilevelOptions{})) != 0 {
+		t.Error("empty graph mishandled")
+	}
+	p := Multilevel(graph.FromEdges(2, []graph.Edge{{From: 0, To: 1}}), MultilevelOptions{CoarsenTo: 1})
+	if p.Validate() != nil {
+		t.Error("tiny graph invalid")
+	}
+}
+
+func TestMultilevelKeepsMatchedPairsAdjacent(t *testing.T) {
+	// Disjoint heavy pairs: 0-1, 2-3, 4-5 (double edges so matching
+	// picks them), each matched pair must be adjacent in the result.
+	var edges []graph.Edge
+	for i := 0; i < 6; i += 2 {
+		a, b := graph.NodeID(i), graph.NodeID(i+1)
+		edges = append(edges, graph.Edge{From: a, To: b}, graph.Edge{From: b, To: a})
+	}
+	g := graph.FromEdges(6, edges)
+	p := Multilevel(g, MultilevelOptions{CoarsenTo: 2})
+	for i := 0; i < 6; i += 2 {
+		d := int64(p[i]) - int64(p[i+1])
+		if d != 1 && d != -1 {
+			t.Errorf("pair (%d,%d) not adjacent: positions %d, %d", i, i+1, p[i], p[i+1])
+		}
+	}
+}
+
+func TestMultilevelBeatsRandomOnCommunities(t *testing.T) {
+	g := gen.SBM(3000, 30, 10, 1, 4)
+	w := 5
+	ml := Score(g, Multilevel(g, MultilevelOptions{CoarsenTo: 256}), w)
+	rnd := Score(g, Random(g.NumNodes(), 1), w)
+	orig := Score(g, Identity(g.NumNodes()), w)
+	if ml <= rnd*3 {
+		t.Errorf("multilevel F=%d not well above random %d", ml, rnd)
+	}
+	// SBM IDs are shuffled, so the original order has no community
+	// locality; multilevel must beat it clearly.
+	if ml <= orig {
+		t.Errorf("multilevel F=%d not above original %d", ml, orig)
+	}
+}
+
+func TestMultilevelCustomCoarseOrderer(t *testing.T) {
+	g := gen.BarabasiAlbert(1000, 4, 6)
+	called := false
+	p := Multilevel(g, MultilevelOptions{
+		CoarsenTo: 64,
+		OrderCoarse: func(cg *graph.Graph) Permutation {
+			called = true
+			if cg.NumNodes() > 2*64 {
+				t.Errorf("coarse graph has %d vertices, want <= ~128", cg.NumNodes())
+			}
+			return Identity(cg.NumNodes())
+		},
+	})
+	if !called {
+		t.Fatal("coarse orderer never invoked")
+	}
+	if p.Validate() != nil {
+		t.Fatal("invalid permutation")
+	}
+}
+
+func TestMultilevelDeterministic(t *testing.T) {
+	g := gen.Web(2000, gen.DefaultWeb, 3)
+	a := Multilevel(g, MultilevelOptions{})
+	b := Multilevel(g, MultilevelOptions{})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("multilevel not deterministic")
+		}
+	}
+}

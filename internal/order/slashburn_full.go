@@ -1,0 +1,188 @@
+package order
+
+import (
+	"sort"
+
+	"gorder/internal/graph"
+)
+
+// SlashBurnFull implements the original SlashBurn ordering (Lim, Kang,
+// Faloutsos, TKDE 2014), which the replication simplified: each
+// iteration removes the k highest-degree hubs to the front of the
+// order, then moves every vertex outside the giant connected
+// component ("spokes") to the back, and recurses on the giant
+// component. k is the paper's hub-count parameter; it uses 0.5% of n,
+// which k <= 0 selects here.
+//
+// Compared to the simplified variant (SlashBurn), the full algorithm
+// burns whole non-giant components, not just isolated vertices, which
+// groups the spoke structure attached to each wave of hubs. Both are
+// kept so the divergence the replication reports (its simplified
+// version performed *better* than the original paper's) can be
+// reproduced and studied.
+func SlashBurnFull(g *graph.Graph, k int) Permutation {
+	u := g.Undirected()
+	n := u.NumNodes()
+	if n == 0 {
+		return Permutation{}
+	}
+	if k <= 0 {
+		k = n / 200 // the paper's 0.5% of n
+		if k < 1 {
+			k = 1
+		}
+	}
+	perm := make(Permutation, n)
+	assigned := make([]bool, n)
+	frontNext := 0    // next front position
+	backNext := n - 1 // next back position
+
+	deg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		deg[v] = int32(u.OutDegree(graph.NodeID(v)))
+	}
+	alive := make([]bool, n)
+	live := make([]graph.NodeID, 0, n)
+	for v := 0; v < n; v++ {
+		alive[v] = true
+		live = append(live, graph.NodeID(v))
+	}
+
+	placeFront := func(v graph.NodeID) {
+		perm[v] = graph.NodeID(frontNext)
+		frontNext++
+		assigned[v] = true
+		alive[v] = false
+	}
+	placeBack := func(v graph.NodeID) {
+		perm[v] = graph.NodeID(backNext)
+		backNext--
+		assigned[v] = true
+		alive[v] = false
+	}
+
+	comp := make([]int32, n)
+	queue := make([]graph.NodeID, 0, n)
+
+	for len(live) > 0 {
+		if len(live) <= k {
+			// Terminal wave: everything left is hub-sized; place by
+			// degree descending at the front.
+			sort.SliceStable(live, func(a, b int) bool {
+				if deg[live[a]] != deg[live[b]] {
+					return deg[live[a]] > deg[live[b]]
+				}
+				return live[a] < live[b]
+			})
+			for _, v := range live {
+				placeFront(v)
+			}
+			break
+		}
+		// 1. Slash: remove the k highest-degree live vertices.
+		hubs := append([]graph.NodeID(nil), live...)
+		sort.SliceStable(hubs, func(a, b int) bool {
+			if deg[hubs[a]] != deg[hubs[b]] {
+				return deg[hubs[a]] > deg[hubs[b]]
+			}
+			return hubs[a] < hubs[b]
+		})
+		hubs = hubs[:k]
+		for _, h := range hubs {
+			for _, w := range u.OutNeighbors(h) {
+				if alive[w] {
+					deg[w]--
+				}
+			}
+			placeFront(h)
+		}
+		// 2. Find connected components of the remainder.
+		for _, v := range live {
+			if alive[v] {
+				comp[v] = -1
+			}
+		}
+		type cc struct {
+			id   int32
+			size int
+		}
+		var comps []cc
+		var nextComp int32
+		for _, s := range live {
+			if !alive[s] || comp[s] != -1 {
+				continue
+			}
+			id := nextComp
+			nextComp++
+			size := 0
+			comp[s] = id
+			queue = append(queue[:0], s)
+			for head := 0; head < len(queue); head++ {
+				v := queue[head]
+				size++
+				for _, w := range u.OutNeighbors(v) {
+					if alive[w] && comp[w] == -1 {
+						comp[w] = id
+						queue = append(queue, w)
+					}
+				}
+			}
+			comps = append(comps, cc{id, size})
+		}
+		if len(comps) == 0 {
+			break
+		}
+		// 3. Burn: all but the giant component go to the back,
+		// smallest components outermost, vertices within a component
+		// by degree descending (the paper's "hub ordering" inside
+		// spokes).
+		giant := comps[0]
+		for _, c := range comps {
+			if c.size > giant.size {
+				giant = c
+			}
+		}
+		sort.SliceStable(comps, func(a, b int) bool { return comps[a].size < comps[b].size })
+		byComp := make(map[int32][]graph.NodeID, len(comps))
+		for _, v := range live {
+			if alive[v] && comp[v] != giant.id {
+				byComp[comp[v]] = append(byComp[comp[v]], v)
+			}
+		}
+		for _, c := range comps {
+			if c.id == giant.id {
+				continue
+			}
+			members := byComp[c.id]
+			sort.SliceStable(members, func(a, b int) bool {
+				if deg[members[a]] != deg[members[b]] {
+					return deg[members[a]] > deg[members[b]]
+				}
+				return members[a] < members[b]
+			})
+			for _, v := range members {
+				for _, w := range u.OutNeighbors(v) {
+					if alive[w] {
+						deg[w]--
+					}
+				}
+				placeBack(v)
+			}
+		}
+		// 4. Recurse on the giant component.
+		nextLive := live[:0]
+		for _, v := range live {
+			if alive[v] {
+				nextLive = append(nextLive, v)
+			}
+		}
+		live = nextLive
+	}
+	// Safety: anything unassigned (cannot happen) goes front.
+	for v := 0; v < n; v++ {
+		if !assigned[v] {
+			placeFront(graph.NodeID(v))
+		}
+	}
+	return perm
+}

@@ -1,0 +1,121 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gorder/internal/gen"
+	"gorder/internal/graph"
+)
+
+func TestSlashBurnFullValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(80)
+		g := randGraph(rng, n, rng.Intn(4*n))
+		for _, k := range []int{0, 1, 3, n} {
+			p := SlashBurnFull(g, k)
+			if len(p) != n || p.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlashBurnFullEmpty(t *testing.T) {
+	if p := SlashBurnFull(graph.FromEdges(0, nil), 1); len(p) != 0 {
+		t.Errorf("empty graph: %v", p)
+	}
+}
+
+func TestSlashBurnFullStar(t *testing.T) {
+	// Star: the hub must go first; every leaf becomes a singleton
+	// spoke and goes to the back.
+	edges := make([]graph.Edge, 0, 10)
+	for i := 1; i <= 10; i++ {
+		edges = append(edges, graph.Edge{From: 0, To: graph.NodeID(i)})
+	}
+	g := graph.FromEdges(11, edges)
+	p := SlashBurnFull(g, 1)
+	if p[0] != 0 {
+		t.Errorf("hub position = %d, want 0", p[0])
+	}
+	for v := 1; v <= 10; v++ {
+		if int(p[v]) < 1 {
+			t.Errorf("leaf %d at position %d", v, p[v])
+		}
+	}
+}
+
+func TestSlashBurnFullTwoCommunities(t *testing.T) {
+	// Two cliques joined through a single bridge hub. Removing the
+	// bridge separates them; the smaller community should be burned to
+	// the back, the larger continue as the giant component.
+	var edges []graph.Edge
+	addClique := func(members []graph.NodeID) {
+		for _, a := range members {
+			for _, b := range members {
+				if a != b {
+					edges = append(edges, graph.Edge{From: a, To: b})
+				}
+			}
+		}
+	}
+	big := []graph.NodeID{0, 1, 2, 3, 4, 5}
+	small := []graph.NodeID{6, 7, 8}
+	addClique(big)
+	addClique(small)
+	// Bridge vertex 9 connects to everything (max degree).
+	for v := graph.NodeID(0); v < 9; v++ {
+		edges = append(edges, graph.Edge{From: 9, To: v}, graph.Edge{From: v, To: 9})
+	}
+	g := graph.FromEdges(10, edges)
+	p := SlashBurnFull(g, 1)
+	if p[9] != 0 {
+		t.Fatalf("bridge hub at position %d, want 0", p[9])
+	}
+	// The small clique's positions must all be after the big clique's.
+	maxBig, minSmall := graph.NodeID(0), graph.NodeID(10)
+	for _, v := range big {
+		if p[v] > maxBig {
+			maxBig = p[v]
+		}
+	}
+	for _, v := range small {
+		if p[v] < minSmall {
+			minSmall = p[v]
+		}
+	}
+	if minSmall < maxBig {
+		t.Errorf("small community (min pos %d) not after big (max pos %d): %v", minSmall, maxBig, p)
+	}
+}
+
+func TestSlashBurnFullVsSimplifiedScore(t *testing.T) {
+	// Both variants must comfortably beat random on the Gorder score
+	// for a hub-and-spoke graph; this is the comparison the
+	// replication's §2.3 discrepancy is about.
+	g := gen.BarabasiAlbert(2000, 5, 11)
+	full := Score(g, SlashBurnFull(g, 0), 5)
+	simp := Score(g, SlashBurn(g), 5)
+	rnd := Score(g, Random(g.NumNodes(), 1), 5)
+	if full <= rnd || simp <= rnd {
+		t.Errorf("scores: full=%d simplified=%d random=%d", full, simp, rnd)
+	}
+}
+
+func TestSlashBurnFullDefaultK(t *testing.T) {
+	g := gen.BarabasiAlbert(500, 4, 2)
+	p0 := SlashBurnFull(g, 0)
+	pd := SlashBurnFull(g, g.NumNodes()/200)
+	for i := range p0 {
+		if p0[i] != pd[i] {
+			t.Fatal("k<=0 did not select the paper's 0.5% default")
+		}
+	}
+}

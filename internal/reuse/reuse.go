@@ -1,0 +1,223 @@
+// Package reuse computes LRU reuse distances (stack distances) over a
+// cache-line access stream. The reuse-distance profile is the
+// machine-independent explanation of the paper's effect: a vertex
+// ordering speeds an algorithm up exactly when it shortens reuse
+// distances, because an access whose distance is d hits in every
+// fully-associative LRU cache with capacity > d lines, regardless of
+// the hierarchy's exact geometry.
+//
+// The analyzer uses the classic Bennett–Kruskal algorithm: a Fenwick
+// tree over access times counts the distinct lines touched since the
+// previous access to the same line, giving O(log n) per access. The
+// time axis is compacted periodically so memory stays proportional to
+// the number of distinct lines, not the trace length.
+package reuse
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Infinite is the distance reported for cold (first-ever) accesses.
+const Infinite = int64(-1)
+
+// Analyzer ingests a stream of cache-line addresses via Touch and
+// maintains both a log₂-bucketed distance histogram and exact miss
+// counts for a configured set of cache capacities.
+type Analyzer struct {
+	capacities []int64  // line counts to evaluate, ascending
+	misses     []uint64 // accesses with distance >= capacities[i]
+	cold       uint64
+	total      uint64
+	buckets    []uint64 // buckets[b] = accesses with 2^b <= distance < 2^(b+1)
+
+	lastTime map[uint64]int32 // line -> time of previous access
+	tree     []int32          // Fenwick tree over times; 1 = live mark
+	now      int32            // next time slot (== len of logical time axis)
+	live     int32            // number of live marks (= distinct lines seen)
+}
+
+// NewAnalyzer returns an analyzer that additionally tracks exact miss
+// counts for the given cache capacities (in lines). Capacities may be
+// nil if only the histogram is wanted.
+func NewAnalyzer(capacities ...int64) *Analyzer {
+	caps := append([]int64(nil), capacities...)
+	for i := 1; i < len(caps); i++ {
+		if caps[i] < caps[i-1] {
+			panic("reuse: capacities must be ascending")
+		}
+	}
+	return &Analyzer{
+		capacities: caps,
+		misses:     make([]uint64, len(caps)),
+		lastTime:   make(map[uint64]int32),
+		tree:       make([]int32, 1),
+	}
+}
+
+// fenwick helpers over a.tree (1-based).
+
+func (a *Analyzer) add(i int32, delta int32) {
+	for ; int(i) < len(a.tree); i += i & (-i) {
+		a.tree[i] += delta
+	}
+}
+
+func (a *Analyzer) prefix(i int32) int32 {
+	var s int32
+	for ; i > 0; i -= i & (-i) {
+		s += a.tree[i]
+	}
+	return s
+}
+
+// grow ensures the tree can hold time slot t (1-based index t+1).
+func (a *Analyzer) grow() {
+	if int(a.now)+2 <= len(a.tree) {
+		return
+	}
+	// Doubling loses Fenwick partial sums; rebuild by re-adding the
+	// live marks (amortised O(1) per Touch across doublings).
+	size := 2 * len(a.tree)
+	if size < 1024 {
+		size = 1024
+	}
+	a.tree = make([]int32, size)
+	for _, t := range a.lastTime {
+		a.add(t+1, 1)
+	}
+}
+
+// compact rebuilds the time axis keeping only live marks, preserving
+// their order. Memory then shrinks to O(distinct lines).
+func (a *Analyzer) compact() {
+	type mark struct {
+		line uint64
+		t    int32
+	}
+	marks := make([]mark, 0, len(a.lastTime))
+	for line, t := range a.lastTime {
+		marks = append(marks, mark{line, t})
+	}
+	// Sort by old time to preserve recency order.
+	sort.Slice(marks, func(i, j int) bool { return marks[i].t < marks[j].t })
+	a.tree = make([]int32, nextPow2(len(marks)*2+2))
+	a.now = 0
+	for i := range marks {
+		a.lastTime[marks[i].line] = a.now
+		a.add(a.now+1, 1)
+		a.now++
+	}
+}
+
+func nextPow2(n int) int {
+	if n < 1024 {
+		return 1024
+	}
+	return 1 << uint(bits.Len(uint(n-1)))
+}
+
+// Touch records one access to the given cache line.
+func (a *Analyzer) Touch(line uint64) {
+	a.total++
+	prev, seen := a.lastTime[line]
+	var dist int64
+	if !seen {
+		a.cold++
+		a.live++
+		dist = Infinite
+	} else {
+		// Distinct lines strictly after prev: live marks in (prev, now).
+		dist = int64(a.prefix(a.now) - a.prefix(prev+1))
+		a.add(prev+1, -1)
+		b := bucketOf(dist)
+		for len(a.buckets) <= b {
+			a.buckets = append(a.buckets, 0)
+		}
+		a.buckets[b]++
+		// Capacities are ascending, so the capacities this access
+		// misses in form a prefix.
+		for i := 0; i < len(a.capacities); i++ {
+			if dist < a.capacities[i] {
+				break
+			}
+			a.misses[i]++
+		}
+	}
+	a.grow()
+	a.lastTime[line] = a.now
+	a.add(a.now+1, 1)
+	a.now++
+	// Compact when the dead portion of the time axis dominates.
+	if int(a.now) > 4*len(a.lastTime)+1024 {
+		a.compact()
+	}
+}
+
+// bucketOf maps a distance to its log2 bucket (distance 0 → bucket 0,
+// 1 → 1, 2..3 → 2, 4..7 → 3, ...).
+func bucketOf(d int64) int {
+	if d <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(d))
+}
+
+// Profile is the analysis result.
+type Profile struct {
+	Total uint64 // accesses
+	Cold  uint64 // first-ever accesses (infinite distance)
+	// Buckets[b] counts accesses with log2 bucket b; bucket 0 holds
+	// distance 0, bucket b>0 holds [2^(b-1), 2^b).
+	Buckets []uint64
+	// Capacities and Misses pair up: Misses[i] is the number of
+	// non-cold accesses whose distance >= Capacities[i]; a
+	// fully-associative LRU cache with that many lines would miss
+	// exactly Misses[i]+Cold times.
+	Capacities []int64
+	Misses     []uint64
+}
+
+// Profile returns a snapshot of the analysis.
+func (a *Analyzer) Profile() Profile {
+	return Profile{
+		Total:      a.total,
+		Cold:       a.cold,
+		Buckets:    append([]uint64(nil), a.buckets...),
+		Capacities: append([]int64(nil), a.capacities...),
+		Misses:     append([]uint64(nil), a.misses...),
+	}
+}
+
+// MissRatio returns the modelled miss ratio (cold misses included)
+// for the i-th configured capacity.
+func (p Profile) MissRatio(i int) float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.Misses[i]+p.Cold) / float64(p.Total)
+}
+
+// MeanDistance returns the arithmetic mean of finite reuse distances,
+// approximated from bucket midpoints. It is the scalar locality
+// summary used in reports.
+func (p Profile) MeanDistance() float64 {
+	var sum, count float64
+	for b, c := range p.Buckets {
+		if c == 0 {
+			continue
+		}
+		mid := 0.0
+		if b > 0 {
+			lo := int64(1) << uint(b-1)
+			hi := int64(1)<<uint(b) - 1
+			mid = float64(lo+hi) / 2
+		}
+		sum += mid * float64(c)
+		count += float64(c)
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / count
+}

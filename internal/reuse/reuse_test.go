@@ -1,0 +1,203 @@
+package reuse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gorder/internal/cache"
+)
+
+// naiveDistances computes reuse distances with an explicit LRU stack:
+// the distance of an access is the current stack index of its line.
+func naiveDistances(trace []uint64) []int64 {
+	var stack []uint64
+	out := make([]int64, 0, len(trace))
+	for _, line := range trace {
+		pos := -1
+		for i, l := range stack {
+			if l == line {
+				pos = i
+				break
+			}
+		}
+		if pos == -1 {
+			out = append(out, Infinite)
+			stack = append([]uint64{line}, stack...)
+			continue
+		}
+		out = append(out, int64(pos))
+		copy(stack[1:pos+1], stack[:pos])
+		stack[0] = line
+	}
+	return out
+}
+
+func TestSimpleSequence(t *testing.T) {
+	a := NewAnalyzer(1, 2, 4)
+	// Trace: A B A  → A cold, B cold, A distance 1.
+	a.Touch(10)
+	a.Touch(20)
+	a.Touch(10)
+	p := a.Profile()
+	if p.Total != 3 || p.Cold != 2 {
+		t.Fatalf("total=%d cold=%d", p.Total, p.Cold)
+	}
+	// distance 1 → bucket 1.
+	if p.Buckets[1] != 1 {
+		t.Fatalf("buckets = %v", p.Buckets)
+	}
+	// Capacity 1: dist 1 >= 1 → miss. Capacity 2: dist 1 < 2 → hit.
+	if p.Misses[0] != 1 || p.Misses[1] != 0 || p.Misses[2] != 0 {
+		t.Fatalf("misses = %v", p.Misses)
+	}
+}
+
+func TestDistanceZero(t *testing.T) {
+	a := NewAnalyzer(1)
+	a.Touch(5)
+	a.Touch(5)
+	p := a.Profile()
+	if p.Buckets[0] != 1 {
+		t.Fatalf("immediate reuse not in bucket 0: %v", p.Buckets)
+	}
+	if p.Misses[0] != 0 {
+		t.Fatalf("distance-0 access missed in capacity-1 cache")
+	}
+}
+
+// Aggregate counts match the naive LRU-stack reference on random
+// traces.
+func TestQuickMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nLines := 1 + rng.Intn(40)
+		trace := make([]uint64, 300)
+		for i := range trace {
+			trace[i] = uint64(rng.Intn(nLines)) * 64
+		}
+		caps := []int64{1, 2, 4, 8, 16, 32}
+		a := NewAnalyzer(caps...)
+		for _, l := range trace {
+			a.Touch(l)
+		}
+		p := a.Profile()
+		ref := naiveDistances(trace)
+		var cold uint64
+		misses := make([]uint64, len(caps))
+		for _, d := range ref {
+			if d == Infinite {
+				cold++
+				continue
+			}
+			for i, c := range caps {
+				if d >= c {
+					misses[i]++
+				}
+			}
+		}
+		if p.Cold != cold {
+			return false
+		}
+		for i := range caps {
+			if p.Misses[i] != misses[i] {
+				return false
+			}
+		}
+		return p.Total == uint64(len(trace))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Compaction must not change results: long trace over few lines
+// triggers it (now > 4*distinct + 1024).
+func TestCompactionPreservesResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const nLines = 16
+	trace := make([]uint64, 8000)
+	for i := range trace {
+		trace[i] = uint64(rng.Intn(nLines)) * 64
+	}
+	a := NewAnalyzer(4, 8, 16)
+	for _, l := range trace {
+		a.Touch(l)
+	}
+	p := a.Profile()
+	ref := naiveDistances(trace)
+	var wantMiss4 uint64
+	for _, d := range ref {
+		if d != Infinite && d >= 4 {
+			wantMiss4++
+		}
+	}
+	if p.Misses[0] != wantMiss4 {
+		t.Fatalf("after compaction misses[4] = %d, want %d", p.Misses[0], wantMiss4)
+	}
+	if p.Cold != nLines {
+		t.Fatalf("cold = %d, want %d", p.Cold, nLines)
+	}
+}
+
+// Cross-validation with the cache simulator: a single-level
+// fully-associative LRU cache of capacity C lines must miss exactly
+// when the reuse distance is >= C (plus cold misses).
+func TestQuickAgreesWithFullyAssociativeSimulator(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const capLines = 8
+		h := cache.New(cache.Config{
+			Levels: []cache.LevelConfig{{
+				Name: "L", Size: capLines * 64, LineSize: 64, Ways: capLines, Latency: 1,
+			}},
+			MemoryLatency: 10,
+		})
+		a := NewAnalyzer(capLines)
+		nLines := 1 + rng.Intn(30)
+		for i := 0; i < 500; i++ {
+			addr := uint64(rng.Intn(nLines)) * 64
+			h.Access(addr)
+			a.Touch(addr >> 6)
+		}
+		sim := h.Report().MemRefs
+		model := a.Profile()
+		return sim == model.Misses[0]+model.Cold
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissRatioAndMeanDistance(t *testing.T) {
+	a := NewAnalyzer(2)
+	for i := 0; i < 4; i++ {
+		a.Touch(uint64(i))
+	}
+	for i := 0; i < 4; i++ {
+		a.Touch(uint64(i)) // each at distance 3
+	}
+	p := a.Profile()
+	if got := p.MissRatio(0); got != 1.0 { // 4 cold + 4 at distance 3 >= 2
+		t.Fatalf("MissRatio = %v, want 1", got)
+	}
+	if md := p.MeanDistance(); md < 2 || md > 4 {
+		t.Fatalf("MeanDistance = %v, want ≈3", md)
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	p := NewAnalyzer(4).Profile()
+	if p.MissRatio(0) != 0 || p.MeanDistance() != 0 {
+		t.Fatal("empty profile not zeroed")
+	}
+}
+
+func TestPanicsOnDescendingCapacities(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("descending capacities accepted")
+		}
+	}()
+	NewAnalyzer(8, 4)
+}

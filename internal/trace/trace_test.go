@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gorder/internal/cache"
+	"gorder/internal/reuse"
+)
+
+func record(t *testing.T, lines []uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range lines {
+		w.Touch(l)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != uint64(len(lines)) {
+		t.Fatalf("Len = %d, want %d", w.Len(), len(lines))
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	lines := []uint64{5, 6, 6, 100, 3, 1 << 40, 0}
+	data := record(t, lines)
+	var got []uint64
+	n, err := Replay(bytes.NewReader(data), func(l uint64) { got = append(got, l) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(lines)) {
+		t.Fatalf("count = %d", n)
+	}
+	for i := range lines {
+		if got[i] != lines[i] {
+			t.Fatalf("replay[%d] = %d, want %d", i, got[i], lines[i])
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lines := make([]uint64, rng.Intn(500))
+		for i := range lines {
+			lines[i] = uint64(rng.Int63n(1 << 50))
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, l := range lines {
+			w.Touch(l)
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		i := 0
+		n, err := Replay(bytes.NewReader(buf.Bytes()), func(l uint64) {
+			if i < len(lines) && l != lines[i] {
+				i = len(lines) + 1 // poison
+			}
+			i++
+		})
+		return err == nil && n == uint64(len(lines)) && i == len(lines)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("short"))); err == nil {
+		t.Error("short header accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("WRONGMAG01234"))); err == nil {
+		t.Error("wrong magic accepted")
+	}
+}
+
+func TestTruncatedTrace(t *testing.T) {
+	data := record(t, []uint64{1 << 40, 2 << 40})
+	// Chop mid-varint: the reader must surface an error, not EOF.
+	r, err := NewReader(bytes.NewReader(data[:len(data)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("first access should survive: %v", err)
+	}
+	_, err = r.Next()
+	if err == nil || err == io.EOF {
+		t.Errorf("truncated varint returned %v, want a real error", err)
+	}
+}
+
+// Local traces are smaller than scattered ones — the format's delta
+// encoding makes trace size itself a locality measure.
+func TestLocalTracesCompressBetter(t *testing.T) {
+	seqLines := make([]uint64, 4096)
+	for i := range seqLines {
+		seqLines[i] = uint64(i)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rndLines := make([]uint64, 4096)
+	for i := range rndLines {
+		rndLines[i] = uint64(rng.Int63n(1 << 40))
+	}
+	seq := record(t, seqLines)
+	scattered := record(t, rndLines)
+	if len(seq)*3 > len(scattered) {
+		t.Errorf("sequential trace %dB not much smaller than scattered %dB", len(seq), len(scattered))
+	}
+}
+
+// Recording through the hierarchy observer and replaying into a reuse
+// analyzer gives identical results to attaching the analyzer live.
+func TestRecordReplayEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := cache.New(cache.SmallMachine())
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := reuse.NewAnalyzer(8, 64)
+	h.SetObserver(func(line uint64) {
+		w.Touch(line)
+		live.Touch(line)
+	})
+	for i := 0; i < 3000; i++ {
+		h.Access(uint64(rng.Intn(1 << 18)))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	replayed := reuse.NewAnalyzer(8, 64)
+	if _, err := Replay(bytes.NewReader(buf.Bytes()), replayed.Touch); err != nil {
+		t.Fatal(err)
+	}
+	a, b := live.Profile(), replayed.Profile()
+	if a.Total != b.Total || a.Cold != b.Cold || a.Misses[0] != b.Misses[0] || a.Misses[1] != b.Misses[1] {
+		t.Fatalf("profiles differ: %+v vs %+v", a, b)
+	}
+}

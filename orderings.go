@@ -1,0 +1,118 @@
+package gorder
+
+import (
+	"gorder/internal/core"
+	"gorder/internal/order"
+)
+
+// Options configures the Gorder computation; see OrderWithOptions.
+type Options = core.Options
+
+// DefaultWindow is the paper's default window size w = 5.
+const DefaultWindow = core.DefaultWindow
+
+// AnnealOptions tunes the MinLA / MinLogA simulated annealing.
+type AnnealOptions = order.AnnealOptions
+
+// Order computes the Gorder permutation of g with the paper's default
+// parameters (window w = 5, exact scores, unit-heap queue). This is
+// the package's primary contribution: the greedy ordering that
+// maximises the windowed locality score F(pi).
+func Order(g *Graph) Permutation { return core.Order(g) }
+
+// OrderWithOptions computes the Gorder permutation with explicit
+// options (window size, hub-skip threshold, queue choice).
+func OrderWithOptions(g *Graph, opt Options) Permutation { return core.OrderWith(g, opt) }
+
+// Original returns the identity permutation — the dataset's native
+// order, the baseline the paper calls "Original".
+func Original(g *Graph) Permutation { return order.Identity(g.NumNodes()) }
+
+// RandomOrder returns a uniformly random permutation, the
+// replication's worst-case benchmark.
+func RandomOrder(g *Graph, seed uint64) Permutation { return order.Random(g.NumNodes(), seed) }
+
+// RCM returns the Reverse Cuthill–McKee ordering (bandwidth-reducing
+// BFS over the undirected view).
+func RCM(g *Graph) Permutation { return order.RCM(g) }
+
+// InDegSort orders vertices by descending in-degree.
+func InDegSort(g *Graph) Permutation { return order.InDegSort(g) }
+
+// ChDFS orders vertices by depth-first discovery time.
+func ChDFS(g *Graph) Permutation { return order.ChDFS(g) }
+
+// SlashBurn computes the simplified SlashBurn hub/spokes ordering.
+func SlashBurn(g *Graph) Permutation { return order.SlashBurn(g) }
+
+// LDG computes the Linear Deterministic Greedy bin ordering with the
+// given bin size (the paper uses 64).
+func LDG(g *Graph, binSize int) Permutation { return order.LDG(g, binSize) }
+
+// MinLA approximately minimises the linear arrangement energy
+// Σ|pi(u)-pi(v)| over edges by simulated annealing.
+func MinLA(g *Graph, opt AnnealOptions) Permutation { return order.MinLA(g, opt) }
+
+// MinLogA approximately minimises Σ log|pi(u)-pi(v)| over edges.
+func MinLogA(g *Graph, opt AnnealOptions) Permutation { return order.MinLogA(g, opt) }
+
+// Score evaluates the Gorder objective F(pi) for a permutation and
+// window: the sum of neighbour- and sibling-relations between vertex
+// pairs whose new IDs are within w of each other.
+func Score(g *Graph, p Permutation, w int) int64 { return order.Score(g, p, w) }
+
+// LinearCost evaluates the MinLA energy of a permutation.
+func LinearCost(g *Graph, p Permutation) float64 { return order.LinearCost(g, p) }
+
+// LogCost evaluates the MinLogA energy of a permutation.
+func LogCost(g *Graph, p Permutation) float64 { return order.LogCost(g, p) }
+
+// Bandwidth evaluates max|pi(u)-pi(v)| over edges, RCM's objective.
+func Bandwidth(g *Graph, p Permutation) int64 { return order.Bandwidth(g, p) }
+
+// HubSort places above-average in-degree vertices first (sorted by
+// degree) and keeps cold vertices in original order — the lightweight
+// frequency-based reordering of the follow-up literature (Balaji &
+// Lucia, IISWC'18).
+func HubSort(g *Graph) Permutation { return order.HubSort(g) }
+
+// DBG computes Degree-Based Grouping: coarse degree classes laid out
+// hottest-first with original order preserved inside each class.
+func DBG(g *Graph) Permutation { return order.DBG(g) }
+
+// OrderIncremental extends an existing Gorder permutation to a grown
+// graph: vertices 0..len(base)-1 keep their positions and the new
+// vertices are placed greedily after them with the same windowed
+// objective. This is the evolving-graph adaptation the paper's
+// discussion calls for — it avoids re-running the full ordering on
+// every batch of insertions.
+func OrderIncremental(g *Graph, base Permutation, opt Options) Permutation {
+	return core.OrderIncremental(g, base, opt)
+}
+
+// OrderParallel computes a partition-parallel approximation of Gorder
+// using the given number of goroutines (<= 0 selects GOMAXPROCS): the
+// graph is cut into DFS-localised chunks, each chunk is ordered
+// exactly and independently, and the chunk orders are concatenated.
+// Ordering quality degrades gracefully with the partition count; see
+// EXPERIMENTS.md.
+func OrderParallel(g *Graph, opt Options, parallelism int) Permutation {
+	return core.OrderParallel(g, opt, parallelism)
+}
+
+// MultilevelOrder runs Gorder on a matching-coarsened graph and
+// projects the order back to the full graph — a scalable
+// approximation when the exact greedy (Order) is too slow.
+// coarsenTo bounds the coarse graph's size (0 selects the default).
+func MultilevelOrder(g *Graph, opt Options, coarsenTo int) Permutation {
+	return core.MultilevelOrder(g, opt, coarsenTo)
+}
+
+// Multilevel computes a multilevel ordering with a caller-chosen
+// coarse-level orderer (see order.MultilevelOptions); RCM by default.
+func Multilevel(g *Graph, opt MultilevelOptions) Permutation {
+	return order.Multilevel(g, opt)
+}
+
+// MultilevelOptions configures Multilevel.
+type MultilevelOptions = order.MultilevelOptions

@@ -1,0 +1,143 @@
+package gorder
+
+import (
+	"fmt"
+
+	"gorder/internal/algos"
+	"gorder/internal/cache"
+	"gorder/internal/compress"
+	"gorder/internal/mem"
+	"gorder/internal/reuse"
+)
+
+// CacheConfig describes a simulated cache hierarchy.
+type CacheConfig = cache.Config
+
+// CacheLevelConfig describes one level of a simulated hierarchy.
+type CacheLevelConfig = cache.LevelConfig
+
+// CacheReport is the statistics snapshot of a simulated run: L1
+// references, per-level miss counts, overall miss rate and a modelled
+// cycle total — the counters the paper reads from perf.
+type CacheReport = cache.Report
+
+// ReplicationCache returns the cache hierarchy of the replication's
+// evaluation machine (32 KB L1 / 256 KB L2 / 20 MB L3).
+func ReplicationCache() CacheConfig { return cache.ReplicationMachine() }
+
+// SmallCache returns a scaled-down hierarchy (4 KB / 32 KB / 256 KB)
+// that puts laptop-sized graphs under the same relative pressure the
+// paper's billion-edge graphs put on a real L3.
+func SmallCache() CacheConfig { return cache.SmallMachine() }
+
+// Kernel names accepted by SimulateCache.
+const (
+	KernelNQ    = "NQ"
+	KernelBFS   = "BFS"
+	KernelDFS   = "DFS"
+	KernelSCC   = "SCC"
+	KernelSP    = "SP"
+	KernelPR    = "PR"
+	KernelDS    = "DS"
+	KernelKcore = "Kcore"
+	KernelDiam  = "Diam"
+	// Extra kernels beyond the paper's nine.
+	KernelWCC       = "WCC"
+	KernelTriangles = "Tri"
+	KernelLabelProp = "LP"
+)
+
+// SimulateCache runs the named benchmark kernel on g with every data
+// access routed through a simulated hierarchy, and returns the cache
+// report. Use it to compare vertex orderings:
+//
+//	before, _ := gorder.SimulateCache(g, gorder.KernelPR, gorder.SmallCache())
+//	after, _ := gorder.SimulateCache(gorder.Apply(g, gorder.Order(g)),
+//	    gorder.KernelPR, gorder.SmallCache())
+//	fmt.Println(before.MissRate(), "→", after.MissRate())
+func SimulateCache(g *Graph, kernel string, cfg CacheConfig) (CacheReport, error) {
+	h := cache.New(cfg)
+	if err := runTracedKernel(g, kernel, h); err != nil {
+		return CacheReport{}, err
+	}
+	return h.Report(), nil
+}
+
+// runTracedKernel executes the named kernel's traced variant against
+// the given hierarchy.
+func runTracedKernel(g *Graph, kernel string, h *cache.Hierarchy) error {
+	s := mem.NewSpace(h)
+	t := algos.NewTracedGraph(g, s)
+	switch kernel {
+	case KernelNQ:
+		algos.TracedNeighbourQuery(t, s)
+	case KernelBFS:
+		algos.TracedBFSAll(t, s)
+	case KernelDFS:
+		algos.TracedDFSAll(t, s)
+	case KernelSCC:
+		algos.TracedSCC(t, s)
+	case KernelSP:
+		algos.TracedBellmanFord(t, s, 0)
+	case KernelPR:
+		algos.TracedPageRank(t, s, 10, algos.DefaultDamping)
+	case KernelDS:
+		algos.TracedDominatingSet(t, s)
+	case KernelKcore:
+		algos.TracedCoreNumbers(g, s)
+	case KernelDiam:
+		algos.TracedDiameter(t, s, 5, 1)
+	case KernelWCC:
+		algos.TracedWCC(g, t, s)
+	case KernelTriangles:
+		algos.TracedTriangleCount(g, s)
+	case KernelLabelProp:
+		algos.TracedLabelPropagation(g, s, 0)
+	default:
+		return fmt.Errorf("gorder: unknown kernel %q", kernel)
+	}
+	return nil
+}
+
+// ReuseProfile is the reuse-distance (LRU stack distance) analysis of
+// a kernel's access stream — the machine-independent view of why an
+// ordering changes miss rates. See ProfileReuse.
+type ReuseProfile = reuse.Profile
+
+// ProfileReuse runs the named kernel's traced variant and returns the
+// reuse-distance profile of its cache-line access stream, with exact
+// miss counts for the given cache capacities (in 64-byte lines,
+// ascending). An access at reuse distance d hits in any LRU cache
+// with more than d lines, so shorter distances == better ordering,
+// independent of the hierarchy's geometry.
+func ProfileReuse(g *Graph, kernel string, capacities ...int64) (ReuseProfile, error) {
+	h := cache.New(SmallCache())
+	an := reuse.NewAnalyzer(capacities...)
+	h.SetObserver(an.Touch)
+	if err := runTracedKernel(g, kernel, h); err != nil {
+		return ReuseProfile{}, err
+	}
+	return an.Profile(), nil
+}
+
+// CompressedSize returns the size in bytes of g's out-adjacency under
+// varint gap encoding — the extension experiment from the paper's
+// discussion: a locality-aware ordering shrinks the encoding because
+// neighbour deltas get small.
+func CompressedSize(g *Graph) int64 { return compress.EncodedSize(g) }
+
+// CompressedBitsPerEdge returns the gap-encoded size in bits per edge,
+// the unit the WebGraph compression literature uses.
+func CompressedBitsPerEdge(g *Graph) float64 { return compress.BitsPerEdge(g) }
+
+// SimulateCacheObserved is SimulateCache with an observer callback
+// invoked on every cache-line access — the hook used to record access
+// traces (internal/trace) or attach custom analyses.
+func SimulateCacheObserved(g *Graph, kernel string, cfg CacheConfig, observer func(line uint64)) (CacheReport, error) {
+	h := cache.New(cfg)
+	h.SetObserver(observer)
+	if err := runTracedKernel(g, kernel, h); err != nil {
+		return CacheReport{}, err
+	}
+	return h.Report(), nil
+}
