@@ -1,0 +1,133 @@
+// Command gorderd serves vertex orderings over HTTP: an asynchronous
+// job queue in front of every ordering and evaluator in the library.
+//
+//	gorderd -addr :8080 -workers 4 -data ./datasets
+//
+// API (JSON everywhere; errors use {"error":{"code","message"}}):
+//
+//	POST /graphs?name=web          upload a graph (binary CSR or edge list)
+//	GET  /graphs                   list registered graphs
+//	GET  /graphs/{id}              one graph's stats
+//	POST /jobs                     submit {"kind":"order","graph":"web","method":"gorder"}
+//	GET  /jobs                     list jobs
+//	GET  /jobs/{id}                poll a job (queued/running/done/failed/canceled)
+//	GET  /jobs/{id}/permutation    download a done order job's permutation
+//	GET  /healthz                  liveness
+//	GET  /metrics                  counters and gauges
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, lets in-flight
+// jobs finish within the grace period, and persists still-queued jobs
+// to the manifest file, which the next start replays.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"gorder/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent ordering jobs")
+		queue     = flag.Int("queue", 64, "max queued (not yet running) jobs")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "default per-job deadline")
+		grace     = flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight jobs")
+		dataDir   = flag.String("data", "", "directory of graph files to preload (.bin .graph .txt .el .edges)")
+		maxUpload = flag.Int64("max-upload", 32<<20, "max graph upload size in bytes")
+		manifest  = flag.String("manifest", "gorderd.manifest.json", "queued-job manifest persisted on shutdown ('' disables)")
+		verbose   = flag.Bool("v", false, "debug logging")
+	)
+	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	srv := server.New(server.Config{
+		Pool: server.PoolConfig{
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			DefaultTimeout: *timeout,
+		},
+		MaxUpload: *maxUpload,
+		Logger:    log,
+	})
+
+	if *dataDir != "" {
+		n, err := srv.Reg.LoadDir(*dataDir)
+		if err != nil {
+			log.Error("loading dataset directory", "dir", *dataDir, "err", err)
+			os.Exit(1)
+		}
+		log.Info("datasets preloaded", "dir", *dataDir, "graphs", n)
+	}
+
+	srv.Start()
+
+	// Replay jobs a previous instance persisted at shutdown.
+	if *manifest != "" {
+		reqs, err := server.ReadManifest(*manifest)
+		if err != nil {
+			log.Error("reading job manifest", "path", *manifest, "err", err)
+			os.Exit(1)
+		}
+		if len(reqs) > 0 {
+			n := srv.Replay(reqs)
+			log.Info("manifest replayed", "path", *manifest, "jobs", n, "skipped", len(reqs)-n)
+			if err := server.WriteManifest(*manifest, nil); err != nil {
+				log.Warn("clearing job manifest", "err", err)
+			}
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	// The resolved address goes to stdout as a plain line so scripts
+	// (and the smoke test) can find a :0-assigned port.
+	fmt.Printf("gorderd listening on %s\n", ln.Addr())
+	log.Info("gorderd up", "addr", ln.Addr().String(), "workers", *workers, "queue", *queue)
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Info("shutdown signal received", "grace", *grace)
+	case err := <-errCh:
+		log.Error("http server failed", "err", err)
+		os.Exit(1)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Warn("http shutdown incomplete", "err", err)
+	}
+	if err := srv.DrainAndPersist(*grace, *manifest); err != nil {
+		log.Error("drain failed", "err", err)
+		os.Exit(1)
+	}
+	log.Info("gorderd stopped")
+}

@@ -4,6 +4,7 @@
 package cli
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -52,8 +53,9 @@ type OrderingSpec struct {
 
 // methodNames lists the orderings ComputeOrdering accepts.
 var methodNames = []string{
-	"chdfs", "dbg", "gorder", "hubsort", "indegsort", "ldg", "minla",
-	"minloga", "original", "random", "rcm", "slashburn", "slashburn-full",
+	"chdfs", "dbg", "gorder", "gorder-parallel", "hubsort", "indegsort",
+	"ldg", "minla", "minloga", "multilevel", "original", "random", "rcm",
+	"slashburn", "slashburn-full",
 }
 
 // MethodNames returns the accepted ordering names, sorted.
@@ -65,9 +67,40 @@ func MethodNames() []string {
 
 // ComputeOrdering dispatches an ordering by name.
 func ComputeOrdering(g *graph.Graph, spec OrderingSpec) (order.Permutation, error) {
+	return ComputeOrderingCtx(context.Background(), g, spec)
+}
+
+// ComputeOrderingCtx dispatches an ordering by name with cooperative
+// cancellation. The Gorder variants check ctx inside their greedy
+// loops; the cheap baselines run to completion but the dispatcher
+// refuses to start once ctx is done, so a deadline bounds every
+// method's queue-to-start latency even when it cannot interrupt the
+// method itself.
+func ComputeOrderingCtx(ctx context.Context, g *graph.Graph, spec OrderingSpec) (order.Permutation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch strings.ToLower(spec.Method) {
 	case "gorder":
-		return core.OrderWith(g, core.Options{Window: spec.Window, HubThreshold: spec.Hub}), nil
+		return core.OrderWithCtx(ctx, g, core.Options{Window: spec.Window, HubThreshold: spec.Hub})
+	case "gorder-parallel":
+		return core.OrderParallelCtx(ctx, g, core.Options{Window: spec.Window, HubThreshold: spec.Hub}, 0)
+	case "multilevel":
+		var coarseErr error
+		p := order.Multilevel(g, order.MultilevelOptions{
+			OrderCoarse: func(cg *graph.Graph) order.Permutation {
+				cp, err := core.OrderWithCtx(ctx, cg, core.Options{Window: spec.Window, HubThreshold: spec.Hub})
+				if err != nil {
+					coarseErr = err
+					return order.Identity(cg.NumNodes())
+				}
+				return cp
+			},
+		})
+		if coarseErr != nil {
+			return nil, coarseErr
+		}
+		return p, nil
 	case "original":
 		return order.Identity(g.NumNodes()), nil
 	case "random":

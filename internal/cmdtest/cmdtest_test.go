@@ -1,6 +1,7 @@
-// Package cmdtest builds the four command-line tools and drives them
+// Package cmdtest builds the command-line tools and drives them
 // end-to-end: generate → order → simulate → benchmark, including the
-// trace record/replay and permutation apply flows.
+// trace record/replay and permutation apply flows, plus the gorderd
+// daemon's upload → job → permutation HTTP round trip.
 package cmdtest
 
 import (
@@ -19,7 +20,7 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	binDir = dir
-	for _, tool := range []string{"graphgen", "gorder", "cachesim", "bench"} {
+	for _, tool := range []string{"graphgen", "gorder", "cachesim", "bench", "gorderd"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "gorder/cmd/"+tool)
 		cmd.Dir = repoRoot()
 		if out, err := cmd.CombinedOutput(); err != nil {

@@ -1,0 +1,258 @@
+package cmdtest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"gorder/internal/graph"
+	"gorder/internal/order"
+)
+
+// startGorderd launches the daemon on a kernel-assigned port and
+// returns its base URL plus the running process. The daemon announces
+// the resolved address on stdout.
+func startGorderd(t *testing.T, extraArgs ...string) (string, *exec.Cmd) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-grace", "10s"}, extraArgs...)
+	cmd := exec.Command(filepath.Join(binDir, "gorderd"), args...)
+	cmd.Dir = t.TempDir() // keep any default manifest writes out of the repo
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	sc := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "gorderd listening on "); ok {
+				addrCh <- rest
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, cmd
+	case <-time.After(30 * time.Second):
+		t.Fatal("gorderd never announced its address")
+		return "", nil
+	}
+}
+
+func httpJSON[T any](t *testing.T, method, url, contentType string, body io.Reader) (int, T) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil && err != io.EOF {
+		t.Fatalf("%s %s: decoding response: %v", method, url, err)
+	}
+	return resp.StatusCode, v
+}
+
+// TestGorderdSmoke drives the daemon end to end over real HTTP:
+// health check, graph upload, gorder job to completion, permutation
+// download (validated and score-checked), metrics, and a clean
+// SIGTERM shutdown.
+func TestGorderdSmoke(t *testing.T) {
+	base, cmd := startGorderd(t)
+
+	// Liveness.
+	if code, _ := httpJSON[map[string]any](t, http.MethodGet, base+"/healthz", "", nil); code != 200 {
+		t.Fatalf("healthz: status %d", code)
+	}
+
+	// Generate a dataset with the existing tooling and upload it.
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.txt")
+	run(t, "graphgen", "-type", "social", "-n", "800", "-seed", "11", "-format", "text", "-o", graphPath)
+	data, err := os.ReadFile(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, info := httpJSON[map[string]any](t, http.MethodPost,
+		base+"/graphs?name=social800", "application/octet-stream", bytes.NewReader(data))
+	if code != http.StatusCreated {
+		t.Fatalf("upload: status %d (%v)", code, info)
+	}
+
+	// Submit a gorder job and poll it to done.
+	jobBody := `{"kind":"order","graph":"social800","method":"gorder","window":5}`
+	code, job := httpJSON[map[string]any](t, http.MethodPost, base+"/jobs", "application/json", strings.NewReader(jobBody))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d (%v)", code, job)
+	}
+	id, _ := job["id"].(string)
+	if id == "" {
+		t.Fatalf("job response has no id: %v", job)
+	}
+	var state string
+	for deadline := time.Now().Add(60 * time.Second); time.Now().Before(deadline); {
+		_, st := httpJSON[map[string]any](t, http.MethodGet, base+"/jobs/"+id, "", nil)
+		state, _ = st["state"].(string)
+		if state == "done" || state == "failed" || state == "canceled" {
+			if state != "done" {
+				t.Fatalf("job ended %s: %v", state, st)
+			}
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if state != "done" {
+		t.Fatalf("job stuck in state %q", state)
+	}
+
+	// Download and validate the permutation; it must beat identity.
+	resp, err := http.Get(base + "/jobs/" + id + "/permutation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := order.ReadPermutation(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("downloaded permutation invalid: %v", err)
+	}
+	g, err := graph.ReadEdgeList(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perm) != g.NumNodes() {
+		t.Fatalf("permutation covers %d vertices, graph has %d", len(perm), g.NumNodes())
+	}
+	if got, base0 := order.Score(g, perm, 5), order.Score(g, order.Identity(g.NumNodes()), 5); got <= base0 {
+		t.Fatalf("gorder score %d does not beat identity %d", got, base0)
+	}
+
+	// Metrics counted the work.
+	if code, snap := httpJSON[map[string]int64](t, http.MethodGet, base+"/metrics", "", nil); code != 200 ||
+		snap["jobs_completed"] < 1 || snap["graphs_loaded"] < 1 {
+		t.Fatalf("metrics: status %d snapshot %v", code, snap)
+	}
+
+	// Graceful shutdown: SIGTERM, clean exit.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("gorderd exited uncleanly: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("gorderd ignored SIGTERM")
+	}
+}
+
+// TestGorderdPreloadsDataDir checks the -data preload path: a dataset
+// directory's graphs are queryable without an upload.
+func TestGorderdPreloadsDataDir(t *testing.T) {
+	dataDir := t.TempDir()
+	run(t, "graphgen", "-type", "er", "-n", "64", "-seed", "5", "-o", filepath.Join(dataDir, "er64.bin"))
+	base, cmd := startGorderd(t, "-data", dataDir)
+
+	code, gi := httpJSON[map[string]any](t, http.MethodGet, base+"/graphs/er64", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("preloaded graph lookup: status %d (%v)", code, gi)
+	}
+	if n, _ := gi["nodes"].(float64); int(n) != 64 {
+		t.Fatalf("preloaded graph nodes = %v, want 64", gi["nodes"])
+	}
+
+	jobBody := `{"kind":"eval","graph":"er64"}`
+	code, job := httpJSON[map[string]any](t, http.MethodPost, base+"/jobs", "application/json", strings.NewReader(jobBody))
+	if code != http.StatusAccepted {
+		t.Fatalf("eval submit: status %d (%v)", code, job)
+	}
+
+	cmd.Process.Signal(syscall.SIGTERM)
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("gorderd exited uncleanly: %v", err)
+	}
+}
+
+// TestGorderdManifestReplay shuts a daemon down with queued jobs and
+// confirms the next instance replays them from the manifest.
+func TestGorderdManifestReplay(t *testing.T) {
+	workDir := t.TempDir()
+	dataDir := t.TempDir()
+	manifest := filepath.Join(workDir, "m.json")
+	// A graph big enough that a gorder job occupies the single worker
+	// while more jobs pile up behind it.
+	run(t, "graphgen", "-type", "social", "-n", "30000", "-seed", "3", "-o", filepath.Join(dataDir, "big.bin"))
+
+	base, cmd := startGorderd(t, "-data", dataDir, "-workers", "1", "-manifest", manifest, "-grace", "2s")
+	for i := 0; i < 4; i++ {
+		body := `{"kind":"order","graph":"big","method":"gorder"}`
+		code, st := httpJSON[map[string]any](t, http.MethodPost, base+"/jobs", "application/json", strings.NewReader(body))
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d (%v)", i, code, st)
+		}
+	}
+	cmd.Process.Signal(syscall.SIGTERM)
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("gorderd exited uncleanly: %v", err)
+	}
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	var m struct {
+		Jobs []map[string]any `json:"jobs"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Jobs) == 0 {
+		t.Fatal("manifest persisted no queued jobs")
+	}
+
+	// Second instance replays them.
+	base2, cmd2 := startGorderd(t, "-data", dataDir, "-workers", "2", "-manifest", manifest)
+	code, list := httpJSON[map[string][]map[string]any](t, http.MethodGet, base2+"/jobs", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("job list: status %d", code)
+	}
+	if len(list["jobs"]) != len(m.Jobs) {
+		t.Fatalf("replayed %d jobs, manifest had %d", len(list["jobs"]), len(m.Jobs))
+	}
+	// The manifest is consumed so a crash loop cannot double-submit.
+	if _, err := os.Stat(manifest); !os.IsNotExist(err) {
+		t.Fatalf("manifest not cleared after replay: %v", err)
+	}
+	cmd2.Process.Signal(syscall.SIGTERM)
+	if err := cmd2.Wait(); err != nil {
+		t.Fatalf("second gorderd exited uncleanly: %v", err)
+	}
+}

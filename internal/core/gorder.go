@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"gorder/internal/graph"
 	"gorder/internal/order"
 )
@@ -41,6 +43,12 @@ type maxQueue interface {
 	ExtractMax() (item int, key int32, ok bool)
 }
 
+// cancelCheckInterval is how many vertex placements the greedy loop
+// performs between context-cancellation checks. The interval keeps the
+// ctx.Err() cost off the per-insertion hot path while still bounding
+// the latency of a cancellation to a few hundred heap operations.
+const cancelCheckInterval = 128
+
 // Order computes the Gorder permutation of g with default options.
 func Order(g *graph.Graph) order.Permutation {
 	return OrderWith(g, Options{})
@@ -51,9 +59,19 @@ func Order(g *graph.Graph) order.Permutation {
 // new IDs are within the window w of each other, where S counts
 // neighbour relations and shared in-neighbours.
 func OrderWith(g *graph.Graph, opt Options) order.Permutation {
+	p, _ := OrderWithCtx(context.Background(), g, opt)
+	return p
+}
+
+// OrderWithCtx is OrderWith with cooperative cancellation: the greedy
+// loop checks ctx every cancelCheckInterval insertions and returns
+// ctx.Err() (with a nil permutation) once the context is done. This is
+// what lets a serving layer bound ordering jobs with deadlines instead
+// of tying up a worker for the full O(superlinear) run.
+func OrderWithCtx(ctx context.Context, g *graph.Graph, opt Options) (order.Permutation, error) {
 	n := g.NumNodes()
 	if n == 0 {
-		return order.Permutation{}
+		return order.Permutation{}, ctx.Err()
 	}
 	w := opt.Window
 	if w <= 0 {
@@ -110,6 +128,11 @@ func OrderWith(g *graph.Graph, opt Options) order.Permutation {
 	}
 
 	for i := 1; i < n; i++ {
+		if i%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		apply(seq[i-1], +1)
 		if i-1 >= w {
 			apply(seq[i-1-w], -1)
@@ -120,7 +143,7 @@ func OrderWith(g *graph.Graph, opt Options) order.Permutation {
 		}
 		seq = append(seq, graph.NodeID(v))
 	}
-	return order.FromSequence(seq)
+	return order.FromSequence(seq), nil
 }
 
 // WindowScore evaluates F(pi) for the given permutation and window —

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -25,12 +26,20 @@ import (
 // to running the exact greedy on a single DFS-localised chunk, which
 // equals OrderWith up to tie-breaking.
 func OrderParallel(g *graph.Graph, opt Options, parallelism int) order.Permutation {
+	p, _ := OrderParallelCtx(context.Background(), g, opt, parallelism)
+	return p
+}
+
+// OrderParallelCtx is OrderParallel with cooperative cancellation: each
+// chunk's greedy run checks ctx, and the first cancellation aborts the
+// whole computation with ctx.Err().
+func OrderParallelCtx(ctx context.Context, g *graph.Graph, opt Options, parallelism int) (order.Permutation, error) {
 	n := g.NumNodes()
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	if n == 0 {
-		return order.Permutation{}
+		return order.Permutation{}, ctx.Err()
 	}
 	if parallelism > n {
 		parallelism = n
@@ -46,6 +55,7 @@ func OrderParallel(g *graph.Graph, opt Options, parallelism int) order.Permutati
 	}
 	results := make([]chunkResult, 0, parallelism)
 	var mu sync.Mutex
+	var firstErr error
 	var wg sync.WaitGroup
 	for start := 0; start < n; start += chunkSize {
 		end := start + chunkSize
@@ -56,7 +66,15 @@ func OrderParallel(g *graph.Graph, opt Options, parallelism int) order.Permutati
 		go func(start int, members []graph.NodeID) {
 			defer wg.Done()
 			sub, toGlobal := g.InducedSubgraph(members)
-			perm := OrderWith(sub, opt)
+			perm, err := OrderWithCtx(ctx, sub, opt)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
 			local := perm.Sequence()
 			ordered := make([]graph.NodeID, len(local))
 			for i, lv := range local {
@@ -68,9 +86,12 @@ func OrderParallel(g *graph.Graph, opt Options, parallelism int) order.Permutati
 		}(start, seq[start:end])
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
 	final := make([]graph.NodeID, n)
 	for _, res := range results {
 		copy(final[res.start:], res.ordered)
 	}
-	return order.FromSequence(final)
+	return order.FromSequence(final), nil
 }

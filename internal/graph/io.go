@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -41,6 +42,12 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 		}
+		// NodeID is uint32; an endpoint past math.MaxUint32 would wrap
+		// in the NodeID(u) conversion below and silently corrupt the
+		// edge, so refuse the file outright.
+		if u > math.MaxUint32 || v > math.MaxUint32 {
+			return nil, fmt.Errorf("graph: line %d: endpoint %d exceeds the 32-bit NodeID range", lineNo, max(u, v))
+		}
 		if u > maxID {
 			maxID = u
 		}
@@ -72,9 +79,6 @@ func parseUint(b []byte) (int64, []byte, error) {
 	v, err := strconv.ParseInt(string(b[start:i]), 10, 64)
 	if err != nil {
 		return 0, nil, err
-	}
-	if v > int64(^NodeID(0)) {
-		return 0, nil, fmt.Errorf("vertex id %d exceeds 32 bits", v)
 	}
 	return v, b[i:], nil
 }

@@ -37,6 +37,26 @@ func TestReadEdgeListErrors(t *testing.T) {
 	}
 }
 
+func TestReadEdgeListRejectsOutOfRangeEndpoints(t *testing.T) {
+	// NodeID is uint32: endpoints past math.MaxUint32 must be rejected,
+	// not silently truncated by the NodeID(u) conversion.
+	cases := map[string]string{
+		"source too large": "4294967296 1\n",
+		"target too large": "0 1\n1 4294967296\n",
+		"way too large":    "0 1099511627776\n",
+	}
+	for name, in := range cases {
+		_, err := ReadEdgeList(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "NodeID range") {
+			t.Errorf("%s: error %v does not mention the NodeID range", name, err)
+		}
+	}
+}
+
 func TestEdgeListRoundTrip(t *testing.T) {
 	g := diamond()
 	var buf bytes.Buffer

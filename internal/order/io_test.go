@@ -2,6 +2,8 @@ package order
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"math/rand"
 	"strings"
 	"testing"
@@ -36,6 +38,68 @@ func TestReadPermutationRejects(t *testing.T) {
 		if _, err := ReadPermutation(strings.NewReader(in)); err == nil {
 			t.Errorf("%s accepted", name)
 		}
+	}
+}
+
+func TestWritePermutationRoundTrip(t *testing.T) {
+	p := Permutation{3, 1, 4, 0, 2}
+	var buf bytes.Buffer
+	if err := WritePermutation(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadPermutation(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			t.Fatalf("round trip = %v, want %v", q, p)
+		}
+	}
+}
+
+type failWriter struct{ after int }
+
+func (w *failWriter) Write(b []byte) (int, error) {
+	if w.after -= len(b); w.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	return len(b), nil
+}
+
+func TestWritePermutationPropagatesWriteError(t *testing.T) {
+	p := Permutation(Identity(10000))
+	if err := WritePermutation(&failWriter{after: 16}, p); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+func TestReadPermutationShortFile(t *testing.T) {
+	// A valid 4-vertex file truncated after two lines: the surviving
+	// values reference positions past the truncated length, so the
+	// validator must reject it rather than yield a 2-vertex "perm".
+	full := "2\n0\n1\n3\n"
+	if _, err := ReadPermutation(strings.NewReader(full)); err != nil {
+		t.Fatalf("full file rejected: %v", err)
+	}
+	if _, err := ReadPermutation(strings.NewReader(full[:4])); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+type failReader struct{ r io.Reader }
+
+func (f *failReader) Read(b []byte) (int, error) {
+	n, err := f.r.Read(b)
+	if err == io.EOF {
+		err = errors.New("connection reset")
+	}
+	return n, err
+}
+
+func TestReadPermutationPropagatesReadError(t *testing.T) {
+	if _, err := ReadPermutation(&failReader{strings.NewReader("0\n1\n")}); err == nil {
+		t.Fatal("read error swallowed")
 	}
 }
 

@@ -1,0 +1,395 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sync"
+	"time"
+
+	"gorder/internal/order"
+)
+
+// Job states. A job moves queued → running → one of the terminal
+// states; canceled covers both explicit deadlines and server shutdown.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Job kinds.
+const (
+	KindOrder = "order" // compute a permutation of a registered graph
+	KindEval  = "eval"  // score a permutation / run the cache simulator
+)
+
+// JobRequest is the client-supplied description of a job (the POST
+// /jobs body). It is also what the shutdown manifest persists, so it
+// must stay plain data.
+type JobRequest struct {
+	Kind   string `json:"kind"`             // "order" or "eval"
+	Graph  string `json:"graph"`            // registered graph ID or name
+	Method string `json:"method,omitempty"` // ordering name for order jobs
+	Window int    `json:"window,omitempty"` // gorder window (0 = default)
+	Hub    int    `json:"hub,omitempty"`    // gorder hub-skip threshold
+	Seed   uint64 `json:"seed,omitempty"`   // seed for stochastic methods
+	// OfJob points an eval job at a completed order job whose
+	// permutation it should score; empty scores the identity ordering.
+	OfJob string `json:"of_job,omitempty"`
+	// Kernel, when set on an eval job, additionally runs the named
+	// traced kernel (PR, BFS, ...) under the small cache hierarchy and
+	// reports the miss rates.
+	Kernel string `json:"kernel,omitempty"`
+	// TimeoutMs bounds the job's run time; 0 uses the pool default.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// JobStatus is the public view of a job (the GET /jobs/{id} body).
+type JobStatus struct {
+	ID         string             `json:"id"`
+	Request    JobRequest         `json:"request"`
+	State      string             `json:"state"`
+	Error      string             `json:"error,omitempty"`
+	Created    time.Time          `json:"created"`
+	Started    *time.Time         `json:"started,omitempty"`
+	Finished   *time.Time         `json:"finished,omitempty"`
+	DurationMs int64              `json:"duration_ms,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// job is the pool's internal record. Fields after the embedded status
+// are guarded by the pool mutex; perm is written once by the worker
+// before the state flips to done and read only afterwards.
+type job struct {
+	status JobStatus
+	perm   order.Permutation
+}
+
+// ErrQueueFull is returned by Submit when the pending queue is at its
+// depth limit — the backpressure signal the API maps to HTTP 429.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// ErrShuttingDown is returned by Submit after Shutdown has begun.
+var ErrShuttingDown = errors.New("server: shutting down")
+
+// PoolConfig sizes the worker pool.
+type PoolConfig struct {
+	Workers        int           // concurrent jobs; <= 0 means 1
+	QueueDepth     int           // max pending jobs; <= 0 means 64
+	DefaultTimeout time.Duration // per-job deadline when the request has none; <= 0 means 5m
+}
+
+// Pool runs jobs on a fixed set of worker goroutines over a bounded
+// FIFO queue. The queue is a mutex-guarded slice rather than a
+// channel so shutdown can atomically stop intake and hand the
+// still-pending requests back for manifest persistence.
+type Pool struct {
+	cfg  PoolConfig
+	exec func(ctx context.Context, req JobRequest, found func(order.Permutation)) (map[string]float64, error)
+	log  *slog.Logger
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []*job
+	jobs    map[string]*job
+	orderOf []string // submission order, for listing
+	seq     int
+
+	closed bool
+
+	submitted *Counter
+	completed *Counter
+	failed    *Counter
+	canceled  *Counter
+	rejected  *Counter
+	depth     *Gauge
+	busy      *Gauge
+}
+
+// NewPool builds a pool wired to m. exec runs one job: it receives the
+// job's context and request, calls found with the permutation as soon
+// as one exists (order jobs), and returns the job's metrics. Call
+// Start to launch the workers.
+func NewPool(cfg PoolConfig, m *Metrics, logger *slog.Logger,
+	exec func(ctx context.Context, req JobRequest, found func(order.Permutation)) (map[string]float64, error)) *Pool {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 5 * time.Minute
+	}
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{
+		cfg:        cfg,
+		exec:       exec,
+		log:        logger,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*job),
+		submitted:  m.Counter("jobs_submitted"),
+		completed:  m.Counter("jobs_completed"),
+		failed:     m.Counter("jobs_failed"),
+		canceled:   m.Counter("jobs_canceled"),
+		rejected:   m.Counter("jobs_rejected"),
+		depth:      m.Gauge("queue_depth"),
+		busy:       m.Gauge("workers_busy"),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Start launches the worker goroutines.
+func (p *Pool) Start() {
+	for i := 0; i < p.cfg.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+}
+
+// Submit validates and enqueues a job, returning its initial status.
+func (p *Pool) Submit(req JobRequest) (JobStatus, error) {
+	if req.Kind != KindOrder && req.Kind != KindEval {
+		return JobStatus{}, fmt.Errorf("unknown job kind %q", req.Kind)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		p.rejected.Inc()
+		return JobStatus{}, ErrShuttingDown
+	}
+	if len(p.pending) >= p.cfg.QueueDepth {
+		p.rejected.Inc()
+		return JobStatus{}, ErrQueueFull
+	}
+	p.seq++
+	j := &job{status: JobStatus{
+		ID:      fmt.Sprintf("job-%06d", p.seq),
+		Request: req,
+		State:   StateQueued,
+		Created: time.Now().UTC(),
+	}}
+	p.jobs[j.status.ID] = j
+	p.orderOf = append(p.orderOf, j.status.ID)
+	p.pending = append(p.pending, j)
+	p.depth.Set(int64(len(p.pending)))
+	p.submitted.Inc()
+	p.cond.Signal()
+	return j.status, nil
+}
+
+// Get returns a job's status snapshot.
+func (p *Pool) Get(id string) (JobStatus, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.snapshotLocked(), true
+}
+
+// Permutation returns a completed order job's permutation.
+func (p *Pool) Permutation(id string) (order.Permutation, JobStatus, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	if !ok {
+		return nil, JobStatus{}, false
+	}
+	return j.perm, j.snapshotLocked(), true
+}
+
+// List returns every job in submission order.
+func (p *Pool) List() []JobStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]JobStatus, 0, len(p.orderOf))
+	for _, id := range p.orderOf {
+		out = append(out, p.jobs[id].snapshotLocked())
+	}
+	return out
+}
+
+// snapshotLocked deep-copies the mutable status parts so callers can
+// serialise them outside the lock.
+func (j *job) snapshotLocked() JobStatus {
+	s := j.status
+	if j.status.Metrics != nil {
+		s.Metrics = make(map[string]float64, len(j.status.Metrics))
+		for k, v := range j.status.Metrics {
+			s.Metrics[k] = v
+		}
+	}
+	return s
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.pending) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		j := p.pending[0]
+		p.pending = p.pending[1:]
+		p.depth.Set(int64(len(p.pending)))
+		now := time.Now().UTC()
+		j.status.State = StateRunning
+		j.status.Started = &now
+		p.mu.Unlock()
+
+		p.runJob(j)
+	}
+}
+
+func (p *Pool) runJob(j *job) {
+	p.busy.Add(1)
+	defer p.busy.Add(-1)
+
+	timeout := p.cfg.DefaultTimeout
+	if j.status.Request.TimeoutMs > 0 {
+		timeout = time.Duration(j.status.Request.TimeoutMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(p.baseCtx, timeout)
+	defer cancel()
+
+	start := time.Now()
+	metrics, err := p.exec(ctx, j.status.Request, func(perm order.Permutation) {
+		p.mu.Lock()
+		j.perm = perm
+		p.mu.Unlock()
+	})
+	elapsed := time.Since(start)
+	finished := time.Now().UTC()
+
+	p.mu.Lock()
+	j.status.Finished = &finished
+	j.status.DurationMs = elapsed.Milliseconds()
+	j.status.Metrics = metrics
+	switch {
+	case err == nil:
+		j.status.State = StateDone
+		p.completed.Inc()
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.status.State = StateCanceled
+		j.status.Error = err.Error()
+		p.canceled.Inc()
+	default:
+		j.status.State = StateFailed
+		j.status.Error = err.Error()
+		p.failed.Inc()
+	}
+	state := j.status.State
+	p.mu.Unlock()
+
+	p.log.Info("job finished",
+		"job", j.status.ID, "kind", j.status.Request.Kind,
+		"graph", j.status.Request.Graph, "method", j.status.Request.Method,
+		"state", state, "duration", elapsed.Round(time.Millisecond))
+}
+
+// Shutdown drains the pool: intake stops immediately, workers finish
+// their in-flight jobs (canceled via the base context once ctx
+// expires), and the still-queued requests are returned for manifest
+// persistence. Queued jobs are marked canceled so pollers see a
+// terminal state.
+func (p *Pool) Shutdown(ctx context.Context) []JobRequest {
+	p.mu.Lock()
+	p.closed = true
+	var queued []JobRequest
+	now := time.Now().UTC()
+	for _, j := range p.pending {
+		queued = append(queued, j.status.Request)
+		j.status.State = StateCanceled
+		j.status.Error = "server shut down before the job started"
+		j.status.Finished = &now
+		p.canceled.Inc()
+	}
+	p.pending = nil
+	p.depth.Set(0)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Drain deadline hit: cancel in-flight jobs and wait for the
+		// workers to notice.
+		p.baseCancel()
+		<-done
+	}
+	p.baseCancel()
+	return queued
+}
+
+// manifest is the on-disk shape of the queued-job manifest gorderd
+// writes on shutdown and replays on the next start.
+type manifest struct {
+	SavedAt time.Time    `json:"saved_at"`
+	Jobs    []JobRequest `json:"jobs"`
+}
+
+// WriteManifest persists the given queued-job requests to path,
+// atomically (write temp + rename). An empty list removes any stale
+// manifest instead.
+func WriteManifest(path string, reqs []JobRequest) error {
+	if len(reqs) == 0 {
+		err := os.Remove(path)
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	data, err := json.MarshalIndent(manifest{SavedAt: time.Now().UTC(), Jobs: reqs}, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadManifest loads a manifest written by WriteManifest. A missing
+// file is an empty manifest, not an error.
+func ReadManifest(path string) ([]JobRequest, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("server: corrupt job manifest %s: %w", path, err)
+	}
+	return m.Jobs, nil
+}

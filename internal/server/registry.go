@@ -1,0 +1,161 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gorder/internal/cli"
+	"gorder/internal/graph"
+)
+
+// GraphInfo is the public description of a registered graph.
+type GraphInfo struct {
+	ID    string    `json:"id"`    // content hash prefix — stable across restarts
+	Name  string    `json:"name"`  // caller-chosen label (filename stem for preloads)
+	Nodes int       `json:"nodes"` //
+	Edges int64     `json:"edges"`
+	Bytes int64     `json:"bytes"` // size of the source file/upload
+	Added time.Time `json:"added"`
+}
+
+// Registry holds the named graphs the daemon can run jobs against.
+// Graphs are deduplicated by content hash: uploading the same bytes
+// twice (under any name) yields the same ID and stores one copy.
+type Registry struct {
+	mu     sync.RWMutex
+	byID   map[string]*regEntry
+	byName map[string]string // latest name -> id
+	graphs *Counter          // registered graph count (metric)
+	bytes  *Counter          // cumulative accepted upload bytes (metric)
+}
+
+type regEntry struct {
+	info GraphInfo
+	g    *graph.Graph
+}
+
+// NewRegistry returns an empty registry wired to m's metrics.
+func NewRegistry(m *Metrics) *Registry {
+	return &Registry{
+		byID:   make(map[string]*regEntry),
+		byName: make(map[string]string),
+		graphs: m.Counter("graphs_loaded"),
+		bytes:  m.Counter("graphs_bytes_accepted"),
+	}
+}
+
+// graphID derives the registry ID from the source bytes: the first 16
+// hex digits of the SHA-256 — short enough for URLs, long enough that
+// collisions are out of the question at any realistic fleet size.
+func graphID(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Add parses data (binary CSR or text edge list, sniffed) and
+// registers it under name. If the identical bytes are already
+// registered the existing entry is returned with created == false and
+// the name is added as an alias.
+func (r *Registry) Add(name string, data []byte) (GraphInfo, bool, error) {
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return GraphInfo{}, false, fmt.Errorf("graph name is required")
+	}
+	id := graphID(data)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byID[id]; ok {
+		r.byName[name] = id
+		return e.info, false, nil
+	}
+	g, err := cli.ReadGraphFrom(bytes.NewReader(data))
+	if err != nil {
+		return GraphInfo{}, false, fmt.Errorf("parsing graph %q: %w", name, err)
+	}
+	info := GraphInfo{
+		ID:    id,
+		Name:  name,
+		Nodes: g.NumNodes(),
+		Edges: g.NumEdges(),
+		Bytes: int64(len(data)),
+		Added: time.Now().UTC(),
+	}
+	r.byID[id] = &regEntry{info: info, g: g}
+	r.byName[name] = id
+	r.graphs.Inc()
+	r.bytes.Add(int64(len(data)))
+	return info, true, nil
+}
+
+// graphFileExts are the dataset filename extensions LoadDir accepts.
+var graphFileExts = map[string]bool{
+	".bin": true, ".graph": true, ".txt": true, ".el": true, ".edges": true,
+}
+
+// LoadDir registers every graph file in dir (non-recursive), named by
+// filename stem. Unparseable files abort the load — a corrupt dataset
+// directory is a deployment error, not something to skip silently.
+func (r *Registry) LoadDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	loaded := 0
+	for _, de := range entries {
+		if de.IsDir() || !graphFileExts[filepath.Ext(de.Name())] {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, de.Name()))
+		if err != nil {
+			return loaded, err
+		}
+		name := strings.TrimSuffix(de.Name(), filepath.Ext(de.Name()))
+		if _, _, err := r.Add(name, data); err != nil {
+			return loaded, err
+		}
+		loaded++
+	}
+	return loaded, nil
+}
+
+// Get resolves a graph by ID or, failing that, by name.
+func (r *Registry) Get(ref string) (*graph.Graph, GraphInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.byID[ref]
+	if !ok {
+		if id, named := r.byName[ref]; named {
+			e, ok = r.byID[id], true
+		}
+	}
+	if !ok {
+		return nil, GraphInfo{}, false
+	}
+	return e.g, e.info, true
+}
+
+// List returns every registered graph, sorted by name then ID.
+func (r *Registry) List() []GraphInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]GraphInfo, 0, len(r.byID))
+	for _, e := range r.byID {
+		out = append(out, e.info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

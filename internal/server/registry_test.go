@@ -1,0 +1,104 @@
+package server
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gorder/internal/gen"
+)
+
+func TestRegistryLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	// One text edge list, one binary CSR, one ignored extension, one
+	// subdirectory.
+	if err := os.WriteFile(filepath.Join(dir, "tiny.el"), []byte("0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gen.Ring(16).WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ring16.bin"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.md"), []byte("# not a graph"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRegistry(NewMetrics())
+	n, err := r.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("loaded %d graphs, want 2", n)
+	}
+	g, info, ok := r.Get("ring16")
+	if !ok || g.NumNodes() != 16 || info.Name != "ring16" {
+		t.Fatalf("ring16 lookup: ok=%v nodes=%d", ok, g.NumNodes())
+	}
+	if _, _, ok := r.Get("notes"); ok {
+		t.Fatal("non-graph file was registered")
+	}
+	if got := len(r.List()); got != 2 {
+		t.Fatalf("List has %d entries, want 2", got)
+	}
+}
+
+func TestRegistryLoadDirCorruptFileFails(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.el"), []byte("zap pow"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRegistry(NewMetrics()).LoadDir(dir); err == nil {
+		t.Fatal("corrupt dataset dir loaded without error")
+	}
+}
+
+func TestRegistryRejectsEmptyName(t *testing.T) {
+	r := NewRegistry(NewMetrics())
+	if _, _, err := r.Add("   ", []byte("0 1\n")); err == nil {
+		t.Fatal("blank name accepted")
+	}
+}
+
+func TestMetricsWriteJSON(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("alpha_total")
+	c.Add(3)
+	g := m.Gauge("beta_depth")
+	g.Set(-2)
+	m.Func("gamma_func", func() int64 { return 7 })
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"alpha_total": 3`, `"beta_depth": -2`, `"gamma_func": 7`, `"uptime_seconds"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics JSON missing %s:\n%s", want, out)
+		}
+	}
+	// Keys come out sorted.
+	if strings.Index(out, "alpha_total") > strings.Index(out, "beta_depth") {
+		t.Errorf("keys unsorted:\n%s", out)
+	}
+}
+
+func TestDuplicateMetricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate metric name did not panic")
+		}
+	}()
+	m := NewMetrics()
+	m.Counter("dup")
+	m.Gauge("dup")
+}

@@ -1,0 +1,423 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+
+	"gorder"
+	"gorder/internal/cli"
+	"gorder/internal/core"
+	"gorder/internal/order"
+)
+
+// Config configures a Server. The zero value is usable: one worker, a
+// 64-deep queue, 5-minute default deadline, 32 MiB upload cap.
+type Config struct {
+	Pool      PoolConfig
+	MaxUpload int64 // bytes accepted on POST /graphs; <= 0 means 32 MiB
+	Logger    *slog.Logger
+}
+
+// Server glues the registry, the pool, and the metrics into the HTTP
+// JSON API gorderd serves. Construct with New, then Start the workers
+// and mount Handler on an http.Server.
+type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	Metrics *Metrics
+	Reg     *Registry
+	Pool    *Pool
+	mux     *http.ServeMux
+
+	httpRequests *Counter
+	httpErrors   *Counter
+}
+
+// New builds a Server (workers not yet started; call Start).
+func New(cfg Config) *Server {
+	if cfg.MaxUpload <= 0 {
+		cfg.MaxUpload = 32 << 20
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	m := NewMetrics()
+	s := &Server{
+		cfg:          cfg,
+		log:          cfg.Logger,
+		Metrics:      m,
+		Reg:          NewRegistry(m),
+		httpRequests: m.Counter("http_requests_total"),
+		httpErrors:   m.Counter("http_errors_total"),
+	}
+	s.Pool = NewPool(cfg.Pool, m, cfg.Logger, s.execute)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/graphs", s.handleGraphs)
+	s.mux.HandleFunc("/graphs/", s.handleGraphByID)
+	s.mux.HandleFunc("/jobs", s.handleJobs)
+	s.mux.HandleFunc("/jobs/", s.handleJobByID)
+	return s
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() { s.Pool.Start() }
+
+// Shutdown drains the pool; see Pool.Shutdown.
+func (s *Server) Shutdown(ctx context.Context) []JobRequest {
+	return s.Pool.Shutdown(ctx)
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.httpRequests.Inc()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// ---- response envelopes -------------------------------------------------
+
+// apiError is the uniform error envelope every endpoint returns:
+// {"error":{"code":"not_found","message":"..."}}.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	s.httpErrors.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]apiError{
+		"error": {Code: code, Message: fmt.Sprintf(format, args...)},
+	})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// methodNotAllowed writes the envelope and the Allow header the RFC
+// asks for.
+func (s *Server) methodNotAllowed(w http.ResponseWriter, r *http.Request, allowed ...string) {
+	w.Header().Set("Allow", strings.Join(allowed, ", "))
+	s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+		"%s is not allowed on %s (allowed: %s)", r.Method, r.URL.Path, strings.Join(allowed, ", "))
+}
+
+// ---- endpoints ----------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, r, http.MethodGet)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, r, http.MethodGet)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.Metrics.WriteJSON(w)
+}
+
+// handleGraphs serves GET /graphs (list) and POST /graphs (upload).
+// Uploads send the raw graph bytes (binary CSR or text edge list) as
+// the body with the name in the ?name= query parameter.
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.writeJSON(w, http.StatusOK, map[string]any{"graphs": s.Reg.List()})
+	case http.MethodPost:
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			s.writeError(w, http.StatusBadRequest, "missing_name",
+				"upload requires a ?name= query parameter")
+			return
+		}
+		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUpload)
+		data, err := io.ReadAll(body)
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				s.writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+					"upload exceeds the %d-byte limit", tooBig.Limit)
+				return
+			}
+			s.writeError(w, http.StatusBadRequest, "read_failed", "reading upload: %v", err)
+			return
+		}
+		info, created, err := s.Reg.Add(name, data)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad_graph", "%v", err)
+			return
+		}
+		status := http.StatusOK // deduplicated: existing graph
+		if created {
+			status = http.StatusCreated
+			s.log.Info("graph registered", "id", info.ID, "name", info.Name,
+				"nodes", info.Nodes, "edges", info.Edges, "bytes", info.Bytes)
+		}
+		s.writeJSON(w, status, info)
+	default:
+		s.methodNotAllowed(w, r, http.MethodGet, http.MethodPost)
+	}
+}
+
+func (s *Server) handleGraphByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, r, http.MethodGet)
+		return
+	}
+	ref := strings.TrimPrefix(r.URL.Path, "/graphs/")
+	if ref == "" || strings.Contains(ref, "/") {
+		s.writeError(w, http.StatusNotFound, "not_found", "no such route %s", r.URL.Path)
+		return
+	}
+	_, info, ok := s.Reg.Get(ref)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "graph_not_found", "no graph %q", ref)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, info)
+}
+
+// maxJobBody caps POST /jobs bodies; job descriptions are tiny.
+const maxJobBody = 64 << 10
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Pool.List()})
+	case http.MethodPost:
+		var req JobRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad_request", "decoding job: %v", err)
+			return
+		}
+		if code, msg := s.validateJob(&req); code != "" {
+			s.writeError(w, http.StatusBadRequest, code, "%s", msg)
+			return
+		}
+		status, err := s.Pool.Submit(req)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.writeError(w, http.StatusTooManyRequests, "queue_full",
+				"the job queue is at its depth limit; retry later")
+			return
+		case errors.Is(err, ErrShuttingDown):
+			s.writeError(w, http.StatusServiceUnavailable, "shutting_down",
+				"the server is draining; submit to another replica")
+			return
+		case err != nil:
+			s.writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+			return
+		}
+		s.log.Info("job submitted", "job", status.ID, "kind", req.Kind,
+			"graph", req.Graph, "method", req.Method)
+		s.writeJSON(w, http.StatusAccepted, status)
+	default:
+		s.methodNotAllowed(w, r, http.MethodGet, http.MethodPost)
+	}
+}
+
+// validateJob rejects requests that could never run, so mistakes fail
+// at submit time with a message instead of queueing up a doomed job.
+func (s *Server) validateJob(req *JobRequest) (code, msg string) {
+	switch req.Kind {
+	case KindOrder:
+		if req.Method == "" {
+			req.Method = "gorder"
+		}
+		known := false
+		for _, m := range cli.MethodNames() {
+			if strings.EqualFold(m, req.Method) {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return "unknown_method", fmt.Sprintf("unknown ordering %q (known: %s)",
+				req.Method, strings.Join(cli.MethodNames(), " "))
+		}
+	case KindEval:
+		// Kernel validity is checked at run time by SimulateCache.
+	default:
+		return "unknown_kind", fmt.Sprintf("unknown job kind %q (known: %s, %s)",
+			req.Kind, KindOrder, KindEval)
+	}
+	if req.Graph == "" {
+		return "missing_graph", "job requires a graph ID or name"
+	}
+	if _, _, ok := s.Reg.Get(req.Graph); !ok {
+		return "graph_not_found", fmt.Sprintf("no graph %q registered", req.Graph)
+	}
+	if req.TimeoutMs < 0 {
+		return "bad_timeout", "timeout_ms must be >= 0"
+	}
+	return "", ""
+}
+
+func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, r, http.MethodGet)
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	switch {
+	case id == "":
+		s.writeError(w, http.StatusNotFound, "not_found", "no such route %s", r.URL.Path)
+	case sub == "":
+		status, ok := s.Pool.Get(id)
+		if !ok {
+			s.writeError(w, http.StatusNotFound, "job_not_found", "no job %q", id)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, status)
+	case sub == "permutation":
+		perm, status, ok := s.Pool.Permutation(id)
+		if !ok {
+			s.writeError(w, http.StatusNotFound, "job_not_found", "no job %q", id)
+			return
+		}
+		if status.State != StateDone || perm == nil {
+			s.writeError(w, http.StatusConflict, "not_ready",
+				"job %s is %s; a permutation is only available from a done order job",
+				id, status.State)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := order.WritePermutation(w, perm); err != nil {
+			s.log.Warn("permutation download aborted", "job", id, "err", err)
+		}
+	default:
+		s.writeError(w, http.StatusNotFound, "not_found", "no such route %s", r.URL.Path)
+	}
+}
+
+// ---- job execution ------------------------------------------------------
+
+// execute is the pool's executor: it resolves the graph, runs the
+// ordering or evaluation with the job's context, and returns the
+// metrics that end up in the job status.
+func (s *Server) execute(ctx context.Context, req JobRequest, found func(order.Permutation)) (map[string]float64, error) {
+	g, _, ok := s.Reg.Get(req.Graph)
+	if !ok {
+		// The graph was known at submit time; registry entries are never
+		// removed today, but keep the check for when eviction lands.
+		return nil, fmt.Errorf("graph %q is no longer registered", req.Graph)
+	}
+	w := req.Window
+	if w <= 0 {
+		w = core.DefaultWindow
+	}
+	switch req.Kind {
+	case KindOrder:
+		perm, err := cli.ComputeOrderingCtx(ctx, g, cli.OrderingSpec{
+			Method: req.Method, Window: req.Window, Hub: req.Hub, Seed: req.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		found(perm)
+		return map[string]float64{
+			"score_F":   float64(order.Score(g, perm, w)),
+			"bandwidth": float64(order.Bandwidth(g, perm)),
+		}, nil
+	case KindEval:
+		perm := order.Identity(g.NumNodes())
+		if req.OfJob != "" {
+			p, status, ok := s.Pool.Permutation(req.OfJob)
+			if !ok {
+				return nil, fmt.Errorf("of_job %q does not exist", req.OfJob)
+			}
+			if status.State != StateDone || p == nil {
+				return nil, fmt.Errorf("of_job %q is %s, not a done order job", req.OfJob, status.State)
+			}
+			perm = p
+		}
+		if len(perm) != g.NumNodes() {
+			return nil, fmt.Errorf("permutation from %q covers %d vertices, graph has %d",
+				req.OfJob, len(perm), g.NumNodes())
+		}
+		metrics := map[string]float64{
+			"score_F":     float64(order.Score(g, perm, w)),
+			"bandwidth":   float64(order.Bandwidth(g, perm)),
+			"linear_cost": order.LinearCost(g, perm),
+			"log_cost":    order.LogCost(g, perm),
+		}
+		if req.Kernel != "" {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			rep, err := gorder.SimulateCache(gorder.Apply(g, perm), req.Kernel, gorder.SmallCache())
+			if err != nil {
+				return nil, err
+			}
+			metrics["l1_miss_rate"] = rep.L1MissRate()
+			metrics["cache_miss_rate"] = rep.MissRate()
+			metrics["llc_ratio"] = rep.LLCRatio()
+			metrics["sim_cycles"] = float64(rep.Cycles)
+		}
+		return metrics, nil
+	default:
+		return nil, fmt.Errorf("unknown job kind %q", req.Kind)
+	}
+}
+
+// DrainAndPersist performs the daemon's graceful-exit sequence: drain
+// the pool within the grace period and persist any still-queued jobs
+// to manifestPath so the next start can replay them.
+func (s *Server) DrainAndPersist(grace time.Duration, manifestPath string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	queued := s.Shutdown(ctx)
+	if manifestPath == "" {
+		return nil
+	}
+	if err := WriteManifest(manifestPath, queued); err != nil {
+		return fmt.Errorf("persisting job manifest: %w", err)
+	}
+	if len(queued) > 0 {
+		s.log.Info("queued jobs persisted", "count", len(queued), "path", manifestPath)
+	}
+	return nil
+}
+
+// Replay submits previously persisted job requests (from a shutdown
+// manifest), logging and skipping any that no longer validate — e.g.
+// jobs naming graphs that are not registered this run.
+func (s *Server) Replay(reqs []JobRequest) int {
+	n := 0
+	for _, req := range reqs {
+		if code, msg := s.validateJob(&req); code != "" {
+			s.log.Warn("skipping manifest job", "code", code, "reason", msg)
+			continue
+		}
+		if _, err := s.Pool.Submit(req); err != nil {
+			s.log.Warn("skipping manifest job", "err", err)
+			continue
+		}
+		n++
+	}
+	return n
+}

@@ -1,6 +1,8 @@
 package gorder
 
 import (
+	"context"
+
 	"gorder/internal/core"
 	"gorder/internal/order"
 )
@@ -23,6 +25,22 @@ func Order(g *Graph) Permutation { return core.Order(g) }
 // OrderWithOptions computes the Gorder permutation with explicit
 // options (window size, hub-skip threshold, queue choice).
 func OrderWithOptions(g *Graph, opt Options) Permutation { return core.OrderWith(g, opt) }
+
+// OrderCtx computes the Gorder permutation with cooperative
+// cancellation: the greedy loop checks ctx periodically and returns
+// ctx.Err() (with a nil permutation) once the context is done. Order
+// and OrderWithOptions are thin wrappers over this with
+// context.Background(). Long-running services should prefer OrderCtx
+// so deadlines and shutdown propagate into the ordering loop.
+func OrderCtx(ctx context.Context, g *Graph, opt Options) (Permutation, error) {
+	return core.OrderWithCtx(ctx, g, opt)
+}
+
+// OrderParallelCtx is OrderParallel with cooperative cancellation; see
+// OrderCtx.
+func OrderParallelCtx(ctx context.Context, g *Graph, opt Options, parallelism int) (Permutation, error) {
+	return core.OrderParallelCtx(ctx, g, opt, parallelism)
+}
 
 // Original returns the identity permutation — the dataset's native
 // order, the baseline the paper calls "Original".

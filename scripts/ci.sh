@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# CI gate: build everything, vet everything, and run the full test
+# suite under the race detector (the server's worker pool must be
+# race-clean). Run from anywhere; operates on the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "CI OK"
