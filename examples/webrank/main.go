@@ -11,8 +11,9 @@
 package main
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"gorder"
@@ -35,7 +36,7 @@ func main() {
 	for id, r := range ranks {
 		top = append(top, page{gorder.NodeID(id), r})
 	}
-	sort.Slice(top, func(i, j int) bool { return top[i].rank > top[j].rank })
+	slices.SortFunc(top, func(a, b page) int { return cmp.Compare(b.rank, a.rank) })
 	fmt.Println("\ntop pages by PageRank:")
 	for _, p := range top[:5] {
 		fmt.Printf("  page %-6d rank %.5f (in-degree %d)\n", p.id, p.rank, g.InDegree(p.id))

@@ -2,7 +2,7 @@ package bheap
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -148,7 +148,7 @@ func TestQuickAgainstSort(t *testing.T) {
 			_, k := h.Pop()
 			drained = append(drained, k)
 		}
-		if !sort.SliceIsSorted(drained, func(i, j int) bool { return drained[i] < drained[j] }) {
+		if !slices.IsSorted(drained) {
 			return false
 		}
 		return len(drained) == len(ref)

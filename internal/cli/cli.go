@@ -18,29 +18,38 @@ import (
 
 // ReadGraph loads a graph from path, accepting both the binary CSR
 // format and text edge lists (sniffed in that order). "-" reads a
-// text edge list from stdin.
+// text edge list from stdin. The whole file is read up front so the
+// parallel loaders can chunk it in place.
 func ReadGraph(path string) (*graph.Graph, error) {
 	if path == "-" {
 		return graph.ReadEdgeList(os.Stdin)
 	}
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return ReadGraphFrom(f)
+	return ReadGraphBytes(data)
+}
+
+// ReadGraphBytes sniffs the format of an in-memory graph file: binary
+// first (by magic), then text edge list. Upload handlers and the file
+// loader share this path so both get the parallel ingest pipeline
+// without an io.Reader round trip.
+func ReadGraphBytes(data []byte) (*graph.Graph, error) {
+	if g, err := graph.ReadBinaryBytes(data); err == nil {
+		return g, nil
+	}
+	return graph.ReadEdgeListBytes(data)
 }
 
 // ReadGraphFrom sniffs the format of a seekable stream: binary first,
 // then text edge list.
 func ReadGraphFrom(f io.ReadSeeker) (*graph.Graph, error) {
-	if g, err := graph.ReadBinary(f); err == nil {
-		return g, nil
-	}
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
+	data, err := io.ReadAll(f)
+	if err != nil {
 		return nil, err
 	}
-	return graph.ReadEdgeList(f)
+	return ReadGraphBytes(data)
 }
 
 // OrderingSpec configures ComputeOrdering.

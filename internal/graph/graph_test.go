@@ -1,8 +1,9 @@
 package graph
 
 import (
+	"cmp"
 	"math/rand"
-	"sort"
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -251,16 +252,14 @@ func TestQuickInOutConsistent(t *testing.T) {
 		if len(outEdges) != len(inEdges) {
 			return false
 		}
-		less := func(s []Edge) func(i, j int) bool {
-			return func(i, j int) bool {
-				if s[i].From != s[j].From {
-					return s[i].From < s[j].From
-				}
-				return s[i].To < s[j].To
+		cmpEdge := func(a, b Edge) int {
+			if a.From != b.From {
+				return cmp.Compare(a.From, b.From)
 			}
+			return cmp.Compare(a.To, b.To)
 		}
-		sort.Slice(outEdges, less(outEdges))
-		sort.Slice(inEdges, less(inEdges))
+		slices.SortFunc(outEdges, cmpEdge)
+		slices.SortFunc(inEdges, cmpEdge)
 		for i := range outEdges {
 			if outEdges[i] != inEdges[i] {
 				return false

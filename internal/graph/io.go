@@ -2,51 +2,129 @@ package graph
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math"
-	"strconv"
+	"sync/atomic"
 )
 
 // The datasets the paper downloads come as whitespace-separated edge
 // lists ("u v" per line, # comments). We support that format plus a
 // compact binary CSR format for fast reloading of generated datasets.
+//
+// Both loaders are parallel by default: the edge list is split into
+// line-aligned chunks parsed on ingestWorkers() goroutines, and the
+// binary format feeds its decoded CSR straight to fromCSR. See
+// parallel.go for the worker-count knob and serial fallback rules.
 
 // ReadEdgeList parses a text edge list. Lines starting with '#' or '%'
 // are comments; blank lines are skipped. The vertex count is
 // max(endpoint)+1 — the convention SNAP and Konect files follow.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var edges []Edge
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return ReadEdgeListBytes(data)
+}
+
+// ReadEdgeListBytes parses a text edge list already held in memory,
+// skipping the io.Reader copy — the daemon's upload path and the CLI's
+// file loads land here.
+func ReadEdgeListBytes(data []byte) (*Graph, error) {
+	workers, forced := ingestWorkers()
+	if workers <= 1 || (!forced && len(data) < serialByteCutoff) {
+		return readEdgeListSerial(data)
+	}
+	return readEdgeListParallel(data, workers)
+}
+
+// nextLine splits data at the first '\n', stripping a trailing '\r'
+// from the returned line (CRLF input), mirroring bufio.ScanLines.
+func nextLine(data []byte) (line, rest []byte) {
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		line, rest = data[:i], data[i+1:]
+	} else {
+		line, rest = data, nil
+	}
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	return line, rest
+}
+
+// parseEdgeLine parses one edge-list line. skip reports a comment or
+// blank line; errors are returned bare for the caller to wrap with the
+// global line number.
+func parseEdgeLine(line []byte) (u, v int64, skip bool, err error) {
+	i := 0
+	for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+		i++
+	}
+	if i == len(line) || line[i] == '#' || line[i] == '%' {
+		return 0, 0, true, nil
+	}
+	u, rest, err := parseUint(line[i:])
+	if err != nil {
+		return 0, 0, false, err
+	}
+	v, _, err = parseUint(rest)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	// NodeID is uint32; an endpoint past math.MaxUint32 would wrap in
+	// the NodeID(u) conversion and silently corrupt the edge, so refuse
+	// the file outright.
+	if u > math.MaxUint32 || v > math.MaxUint32 {
+		return 0, 0, false, fmt.Errorf("endpoint %d exceeds the 32-bit NodeID range", max(u, v))
+	}
+	return u, v, false, nil
+}
+
+// parseUint reads one decimal field from b, returning the value and
+// the remainder after the field. The digits are accumulated in place —
+// no string conversion, no allocation — because this is the hot path
+// of every text-format load.
+func parseUint(b []byte) (int64, []byte, error) {
+	i := 0
+	for i < len(b) && (b[i] == ' ' || b[i] == '\t') {
+		i++
+	}
+	start := i
+	var v int64
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		d := int64(b[i] - '0')
+		if v > (math.MaxInt64-d)/10 {
+			return 0, nil, errors.New("integer field overflows int64")
+		}
+		v = v*10 + d
+		i++
+	}
+	if i == start {
+		return 0, nil, errors.New("expected integer field")
+	}
+	return v, b[i:], nil
+}
+
+// readEdgeListSerial is the single-goroutine oracle the parallel
+// parser is tested against.
+func readEdgeListSerial(data []byte) (*Graph, error) {
+	edges := make([]Edge, 0, len(data)/16+1)
 	maxID := int64(-1)
 	lineNo := 0
-	for sc.Scan() {
+	for len(data) > 0 {
+		var line []byte
+		line, data = nextLine(data)
 		lineNo++
-		line := sc.Bytes()
-		// Trim leading spaces and skip comments/blanks.
-		i := 0
-		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
-			i++
+		u, v, skip, err := parseEdgeLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 		}
-		if i == len(line) || line[i] == '#' || line[i] == '%' {
+		if skip {
 			continue
-		}
-		u, rest, err := parseUint(line[i:])
-		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
-		}
-		v, _, err := parseUint(rest)
-		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
-		}
-		// NodeID is uint32; an endpoint past math.MaxUint32 would wrap
-		// in the NodeID(u) conversion below and silently corrupt the
-		// edge, so refuse the file outright.
-		if u > math.MaxUint32 || v > math.MaxUint32 {
-			return nil, fmt.Errorf("graph: line %d: endpoint %d exceeds the 32-bit NodeID range", lineNo, max(u, v))
 		}
 		if u > maxID {
 			maxID = u
@@ -56,31 +134,93 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		}
 		edges = append(edges, Edge{NodeID(u), NodeID(v)})
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graph: reading edge list: %w", err)
-	}
 	return FromEdges(int(maxID+1), edges), nil
 }
 
-// parseUint reads one decimal field from b, returning the value and
-// the remainder after the field and any following separator space.
-func parseUint(b []byte) (int64, []byte, error) {
-	i := 0
-	for i < len(b) && (b[i] == ' ' || b[i] == '\t') {
-		i++
+// readEdgeListParallel splits data into line-aligned chunks and parses
+// them concurrently. The per-chunk edge slices are handed to the CSR
+// builder as shards in chunk order, which preserves the exact edge
+// sequence of a serial parse; per-chunk line counts reconstruct global
+// line numbers for error messages.
+func readEdgeListParallel(data []byte, workers int) (*Graph, error) {
+	starts := chunkStarts(data, workers)
+	type chunkResult struct {
+		edges   []Edge
+		maxID   int64
+		lines   int // lines consumed (up to and including an erroring one)
+		err     error
+		errLine int // chunk-local line number of err
 	}
-	start := i
-	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
-		i++
+	chunks := make([]chunkResult, len(starts))
+	runParallel(len(starts), func(w int) {
+		c := &chunks[w]
+		c.maxID = -1
+		end := len(data)
+		if w+1 < len(starts) {
+			end = starts[w+1]
+		}
+		part := data[starts[w]:end]
+		c.edges = make([]Edge, 0, len(part)/16+1)
+		for len(part) > 0 {
+			var line []byte
+			line, part = nextLine(part)
+			c.lines++
+			u, v, skip, err := parseEdgeLine(line)
+			if err != nil {
+				c.err, c.errLine = err, c.lines
+				return
+			}
+			if skip {
+				continue
+			}
+			if u > c.maxID {
+				c.maxID = u
+			}
+			if v > c.maxID {
+				c.maxID = v
+			}
+			c.edges = append(c.edges, Edge{NodeID(u), NodeID(v)})
+		}
+	})
+	// The earliest erroring chunk holds the first bad line, and every
+	// chunk before it parsed to completion, so its line count prefix is
+	// exact — the reported line number matches the serial parse.
+	lineBase := 0
+	maxID := int64(-1)
+	shards := make([][]Edge, 0, len(chunks))
+	for i := range chunks {
+		c := &chunks[i]
+		if c.err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineBase+c.errLine, c.err)
+		}
+		lineBase += c.lines
+		if c.maxID > maxID {
+			maxID = c.maxID
+		}
+		shards = append(shards, c.edges)
 	}
-	if i == start {
-		return 0, nil, errors.New("expected integer field")
+	return build(int(maxID+1), shards, false), nil
+}
+
+// chunkStarts returns strictly increasing chunk start offsets, each
+// aligned to the byte after a '\n', so no line straddles two chunks.
+func chunkStarts(data []byte, workers int) []int {
+	starts := make([]int, 1, workers)
+	for w := 1; w < workers; w++ {
+		p := int(int64(len(data)) * int64(w) / int64(workers))
+		if p <= starts[len(starts)-1] {
+			continue
+		}
+		j := bytes.IndexByte(data[p:], '\n')
+		if j < 0 {
+			break
+		}
+		p += j + 1
+		if p > starts[len(starts)-1] && p < len(data) {
+			starts = append(starts, p)
+		}
 	}
-	v, err := strconv.ParseInt(string(b[start:i]), 10, 64)
-	if err != nil {
-		return 0, nil, err
-	}
-	return v, b[i:], nil
+	return starts
 }
 
 // WriteEdgeList writes g as a text edge list with a descriptive header
@@ -124,28 +264,54 @@ func (g *Graph) WriteBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadBinary loads a graph written by WriteBinary.
+// ReadBinary loads a graph written by WriteBinary. The decoded
+// out-CSR arrays become the graph's storage directly and the in-CSR is
+// derived by a counting pass — no intermediate edge list, so peak load
+// memory is the graph itself plus the raw payload.
 func ReadBinary(r io.Reader) (*Graph, error) {
-	br := bufio.NewReader(r)
 	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, fmt.Errorf("graph: reading magic: %w", err)
 	}
 	if magic != binaryMagic {
 		return nil, errors.New("graph: not a gorder binary graph file")
 	}
-	var hdr [2]int64
-	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
-		return nil, fmt.Errorf("graph: reading header: %w", err)
+	payload, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading payload: %w", err)
 	}
-	n, m := hdr[0], hdr[1]
+	return readBinaryPayload(payload)
+}
+
+// ReadBinaryBytes decodes a binary CSR graph already held in memory
+// (an upload body, an mmap) without ReadBinary's payload copy.
+func ReadBinaryBytes(data []byte) (*Graph, error) {
+	if len(data) < len(binaryMagic) || [8]byte(data[:8]) != binaryMagic {
+		return nil, errors.New("graph: not a gorder binary graph file")
+	}
+	return readBinaryPayload(data[8:])
+}
+
+func readBinaryPayload(b []byte) (*Graph, error) {
+	if len(b) < 16 {
+		return nil, errors.New("graph: reading header: unexpected EOF")
+	}
+	n := int64(binary.LittleEndian.Uint64(b))
+	m := int64(binary.LittleEndian.Uint64(b[8:]))
 	if n < 0 || m < 0 || n > 1<<32 {
 		return nil, fmt.Errorf("graph: implausible header n=%d m=%d", n, m)
 	}
-	outIdx := make([]int64, n+1)
-	if err := binary.Read(br, binary.LittleEndian, outIdx); err != nil {
-		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+	b = b[16:]
+	// Size checks precede every allocation so a corrupt header cannot
+	// provoke a huge make.
+	if int64(len(b)) < (n+1)*8 {
+		return nil, errors.New("graph: reading offsets: unexpected EOF")
 	}
+	outIdx := make([]int64, n+1)
+	for i := range outIdx {
+		outIdx[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	b = b[(n+1)*8:]
 	if outIdx[0] != 0 || outIdx[n] != m {
 		return nil, errors.New("graph: corrupt offset array")
 	}
@@ -154,18 +320,25 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 			return nil, errors.New("graph: non-monotone offset array")
 		}
 	}
+	if int64(len(b)) < m*4 {
+		return nil, errors.New("graph: reading adjacency: unexpected EOF")
+	}
 	outAdj := make([]NodeID, m)
-	if err := binary.Read(br, binary.LittleEndian, outAdj); err != nil {
-		return nil, fmt.Errorf("graph: reading adjacency: %w", err)
-	}
-	edges := make([]Edge, 0, m)
-	for u := int64(0); u < n; u++ {
-		for _, v := range outAdj[outIdx[u]:outIdx[u+1]] {
+	var badNeighbor atomic.Int64
+	badNeighbor.Store(-1)
+	workers := csrWorkers(m)
+	runParallel(workers, func(w int) {
+		lo, hi := span(int(m), workers, w)
+		for i := lo; i < hi; i++ {
+			v := binary.LittleEndian.Uint32(b[i*4:])
 			if int64(v) >= n {
-				return nil, fmt.Errorf("graph: neighbour %d out of range", v)
+				badNeighbor.Store(int64(v))
 			}
-			edges = append(edges, Edge{NodeID(u), v})
+			outAdj[i] = NodeID(v)
 		}
+	})
+	if v := badNeighbor.Load(); v >= 0 {
+		return nil, fmt.Errorf("graph: neighbour %d out of range", v)
 	}
-	return FromEdges(int(n), edges), nil
+	return fromCSR(int(n), outIdx, outAdj), nil
 }

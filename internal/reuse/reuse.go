@@ -15,7 +15,7 @@ package reuse
 
 import (
 	"math/bits"
-	"sort"
+	"slices"
 )
 
 // Infinite is the distance reported for cold (first-ever) accesses.
@@ -100,7 +100,7 @@ func (a *Analyzer) compact() {
 		marks = append(marks, mark{line, t})
 	}
 	// Sort by old time to preserve recency order.
-	sort.Slice(marks, func(i, j int) bool { return marks[i].t < marks[j].t })
+	slices.SortFunc(marks, func(a, b mark) int { return int(a.t) - int(b.t) })
 	a.tree = make([]int32, nextPow2(len(marks)*2+2))
 	a.now = 0
 	for i := range marks {

@@ -1,13 +1,12 @@
 package server
 
 import (
-	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"time"
@@ -35,6 +34,10 @@ type Registry struct {
 	byName map[string]string // latest name -> id
 	graphs *Counter          // registered graph count (metric)
 	bytes  *Counter          // cumulative accepted upload bytes (metric)
+
+	ingests      *Counter // parses performed (dedup hits excluded)
+	ingestMillis *Counter // cumulative parse+build wall time, ms
+	ingestEdges  *Counter // cumulative edges ingested
 }
 
 type regEntry struct {
@@ -45,10 +48,13 @@ type regEntry struct {
 // NewRegistry returns an empty registry wired to m's metrics.
 func NewRegistry(m *Metrics) *Registry {
 	return &Registry{
-		byID:   make(map[string]*regEntry),
-		byName: make(map[string]string),
-		graphs: m.Counter("graphs_loaded"),
-		bytes:  m.Counter("graphs_bytes_accepted"),
+		byID:         make(map[string]*regEntry),
+		byName:       make(map[string]string),
+		graphs:       m.Counter("graphs_loaded"),
+		bytes:        m.Counter("graphs_bytes_accepted"),
+		ingests:      m.Counter("ingest_total"),
+		ingestMillis: m.Counter("ingest_ms_total"),
+		ingestEdges:  m.Counter("ingest_edges_total"),
 	}
 }
 
@@ -77,10 +83,14 @@ func (r *Registry) Add(name string, data []byte) (GraphInfo, bool, error) {
 		r.byName[name] = id
 		return e.info, false, nil
 	}
-	g, err := cli.ReadGraphFrom(bytes.NewReader(data))
+	start := time.Now()
+	g, err := cli.ReadGraphBytes(data)
 	if err != nil {
 		return GraphInfo{}, false, fmt.Errorf("parsing graph %q: %w", name, err)
 	}
+	r.ingests.Inc()
+	r.ingestMillis.Add(time.Since(start).Milliseconds())
+	r.ingestEdges.Add(g.NumEdges())
 	info := GraphInfo{
 		ID:    id,
 		Name:  name,
@@ -151,11 +161,11 @@ func (r *Registry) List() []GraphInfo {
 	for _, e := range r.byID {
 		out = append(out, e.info)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Name != out[j].Name {
-			return out[i].Name < out[j].Name
+	slices.SortFunc(out, func(a, b GraphInfo) int {
+		if c := strings.Compare(a.Name, b.Name); c != 0 {
+			return c
 		}
-		return out[i].ID < out[j].ID
+		return strings.Compare(a.ID, b.ID)
 	})
 	return out
 }

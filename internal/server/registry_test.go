@@ -61,6 +61,29 @@ func TestRegistryLoadDirCorruptFileFails(t *testing.T) {
 	}
 }
 
+// Every successful parse is timed into the ingest metrics; a dedup
+// hit (same bytes again) skips the parse and must not count.
+func TestRegistryRecordsIngestMetrics(t *testing.T) {
+	m := NewMetrics()
+	r := NewRegistry(m)
+	if _, _, err := r.Add("tiny", []byte("0 1\n1 2\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, created, err := r.Add("alias", []byte("0 1\n1 2\n")); err != nil || created {
+		t.Fatalf("dedup upload: created=%v err=%v", created, err)
+	}
+	snap := m.Snapshot()
+	if snap["ingest_total"] != 1 {
+		t.Errorf("ingest_total = %d, want 1 (dedup hits must not re-parse)", snap["ingest_total"])
+	}
+	if snap["ingest_edges_total"] != 2 {
+		t.Errorf("ingest_edges_total = %d, want 2", snap["ingest_edges_total"])
+	}
+	if _, ok := snap["ingest_ms_total"]; !ok {
+		t.Error("ingest_ms_total missing from metrics snapshot")
+	}
+}
+
 func TestRegistryRejectsEmptyName(t *testing.T) {
 	r := NewRegistry(NewMetrics())
 	if _, _, err := r.Add("   ", []byte("0 1\n")); err == nil {

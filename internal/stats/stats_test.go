@@ -3,7 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -152,7 +152,7 @@ func TestQuickRanksConsistent(t *testing.T) {
 			}
 			ps[i] = pair{scores[i], ranks[i]}
 		}
-		sort.Slice(ps, func(a, b int) bool { return ps[a].r < ps[b].r })
+		slices.SortFunc(ps, func(a, b pair) int { return a.r - b.r })
 		for i := 1; i < n; i++ {
 			if ps[i-1].s > ps[i].s {
 				return false

@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Runs the ingest benchmarks (edge-list parse, CSR build, binary load;
+# serial vs parallel) and records the result as BENCH_ingest.json at
+# the repo root. BENCHTIME overrides the per-benchmark time budget
+# (default 1s; use e.g. BENCHTIME=1x for a smoke run).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test ./internal/graph/ -run='^$' \
+	-bench='^(BenchmarkReadEdgeList|BenchmarkFromEdges|BenchmarkReadBinary)$' \
+	-benchmem -benchtime="${BENCHTIME:-1s}" -count=1 | tee "$raw"
+
+cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 0)
+awk -v goversion="$(go env GOVERSION)" -v cores="$cores" '
+BEGIN {
+	printf "{\n"
+	printf "  \"generated_by\": \"scripts/bench_ingest.sh\",\n"
+	printf "  \"go\": \"%s\",\n", goversion
+	printf "  \"cores\": %d,\n", cores
+	printf "  \"benchmarks\": [\n"
+	first = 1
+}
+/^Benchmark/ {
+	name = $1; iters = $2; ns = $3
+	bpo = "null"; apo = "null"; mbs = "null"
+	for (i = 4; i < NF; i++) {
+		if ($(i+1) == "B/op") bpo = $i
+		if ($(i+1) == "allocs/op") apo = $i
+		if ($(i+1) == "MB/s") mbs = $i
+	}
+	if (!first) printf ",\n"
+	first = 0
+	printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, iters, ns, mbs, bpo, apo
+}
+END {
+	printf "\n  ]\n}\n"
+}' "$raw" > BENCH_ingest.json
+
+echo "wrote BENCH_ingest.json"

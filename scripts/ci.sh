@@ -15,4 +15,10 @@ go vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> GOMAXPROCS=1 go test (serial ingest fallback)"
+GOMAXPROCS=1 go test ./internal/graph/ ./internal/cli/ ./internal/server/
+
+echo "==> ingest benchmark smoke (-benchtime=1x)"
+go test ./internal/graph/ -run='^$' -bench=. -benchtime=1x
+
 echo "CI OK"
