@@ -24,7 +24,7 @@ import (
 func main() {
 	var (
 		in       = flag.String("i", "", "input graph (binary or text)")
-		kernel   = flag.String("kernel", gorder.KernelPR, "kernel: NQ|BFS|DFS|SCC|SP|PR|DS|Kcore|Diam|WCC|Tri|LP")
+		kernel   = flag.String("kernel", gorder.KernelPR, "kernel: "+strings.Join(gorder.KernelNames(), "|"))
 		machine  = flag.String("machine", "small", "hierarchy: small|replication")
 		compare  = flag.String("compare", "", "also run after this ordering: "+strings.Join(cli.MethodNames(), "|"))
 		seed     = flag.Uint64("seed", 1, "seed for stochastic orderings")

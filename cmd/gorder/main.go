@@ -5,9 +5,8 @@
 //	gorder -i wiki.graph -method rcm -perm-out wiki.rcm.perm -eval
 //	gorder -i wiki.graph -apply wiki.rcm.perm -o wiki-rcm.graph
 //
-// Run with -h for the full method list (gorder, rcm, indegsort,
-// chdfs, slashburn, slashburn-full, hubsort, dbg, ldg, minla,
-// minloga, original, random).
+// Run with -list for the full catalog of methods and their
+// capabilities, or -h for flag help.
 package main
 
 import (
@@ -19,6 +18,7 @@ import (
 
 	"gorder"
 	"gorder/internal/cli"
+	"gorder/internal/registry"
 )
 
 func main() {
@@ -28,12 +28,18 @@ func main() {
 		w       = flag.Int("w", gorder.DefaultWindow, "gorder window size")
 		hub     = flag.Int("hub", 0, "gorder hub-skip threshold (0 = exact)")
 		seed    = flag.Uint64("seed", 1, "seed for stochastic methods")
+		ldgBins = flag.Int("ldg-bins", 0, "LDG bin count (0 = default 64)")
 		out     = flag.String("o", "", "write relabeled graph here (binary)")
 		permOut = flag.String("perm-out", "", "write the permutation here (one new id per line)")
 		permIn  = flag.String("apply", "", "apply a saved permutation file instead of computing one")
 		eval    = flag.Bool("eval", false, "print ordering quality metrics")
+		list    = flag.Bool("list", false, "list the ordering catalog and exit")
 	)
 	flag.Parse()
+	if *list {
+		listMethods()
+		return
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "gorder: -i is required")
 		flag.Usage()
@@ -61,7 +67,7 @@ func main() {
 		start := time.Now()
 		var err error
 		perm, err = cli.ComputeOrdering(g, cli.OrderingSpec{
-			Method: *method, Window: *w, Hub: *hub, Seed: *seed,
+			Method: *method, Window: *w, Hub: *hub, Seed: *seed, LDGBins: *ldgBins,
 		})
 		if err != nil {
 			fail(err)
@@ -97,6 +103,23 @@ func main() {
 		if err := gorder.Apply(g, perm).WriteBinary(f); err != nil {
 			fail(err)
 		}
+	}
+}
+
+// listMethods prints the registry's ordering catalog with capability
+// metadata, one method per line.
+func listMethods() {
+	fmt.Printf("%-16s %-10s %-12s %-9s %s\n", "METHOD", "COST", "CANCELLABLE", "SEEDED", "ALIASES")
+	for _, o := range registry.Orderings() {
+		cancellable, seeded := "-", "-"
+		if o.Cancellable {
+			cancellable = "yes"
+		}
+		if o.Stochastic {
+			seeded = "yes"
+		}
+		fmt.Printf("%-16s %-10s %-12s %-9s %s\n", strings.ToLower(o.Name),
+			string(o.Cost), cancellable, seeded, strings.Join(o.Aliases, ","))
 	}
 }
 

@@ -1,180 +1,63 @@
 package bench
 
 import (
-	"gorder/internal/algos"
-	"gorder/internal/core"
+	"context"
+
 	"gorder/internal/graph"
-	"gorder/internal/mem"
 	"gorder/internal/order"
+	"gorder/internal/registry"
 )
 
-// Ordering is one contender in the comparison: a named permutation
-// generator.
+// Ordering is one contender in the comparison, resolved from the
+// central registry. Name is the canonical registry name; Compute runs
+// the registry descriptor with the harness seed.
 type Ordering struct {
 	Name string
 	// Compute returns the permutation for g. Stochastic methods use
-	// seed; deterministic ones ignore it.
-	Compute func(g *graph.Graph, seed uint64) order.Permutation
+	// seed; deterministic ones ignore it. ctx bounds the computation
+	// for the cancellable methods.
+	Compute func(ctx context.Context, g *graph.Graph, seed uint64) (order.Permutation, error)
 }
 
 // GorderName is the reference ordering every relative-runtime figure
 // normalises against.
-const GorderName = "Gorder"
+const GorderName = registry.GorderName
 
 // Orderings returns the ten contenders of the replication's
-// experiments, in the presentation order of its figures. Metis is
-// omitted for the reasons both papers give (see DESIGN.md §2).
+// experiments, in the presentation order of its figures, resolved
+// from the registry catalog. Metis is omitted for the reasons both
+// papers give (see DESIGN.md §2).
 func Orderings() []Ordering {
-	return []Ordering{
-		{Name: "Original", Compute: func(g *graph.Graph, _ uint64) order.Permutation {
-			return order.Identity(g.NumNodes())
-		}},
-		{Name: "Random", Compute: func(g *graph.Graph, seed uint64) order.Permutation {
-			return order.Random(g.NumNodes(), seed)
-		}},
-		{Name: "MinLA", Compute: func(g *graph.Graph, seed uint64) order.Permutation {
-			return order.MinLA(g, order.AnnealOptions{Seed: seed}) // S=m, local search
-		}},
-		{Name: "MinLogA", Compute: func(g *graph.Graph, seed uint64) order.Permutation {
-			return order.MinLogA(g, order.AnnealOptions{Seed: seed})
-		}},
-		{Name: "RCM", Compute: func(g *graph.Graph, _ uint64) order.Permutation {
-			return order.RCM(g)
-		}},
-		{Name: "InDegSort", Compute: func(g *graph.Graph, _ uint64) order.Permutation {
-			return order.InDegSort(g)
-		}},
-		{Name: "ChDFS", Compute: func(g *graph.Graph, _ uint64) order.Permutation {
-			return order.ChDFS(g)
-		}},
-		{Name: "SlashBurn", Compute: func(g *graph.Graph, _ uint64) order.Permutation {
-			return order.SlashBurn(g)
-		}},
-		{Name: "LDG", Compute: func(g *graph.Graph, _ uint64) order.Permutation {
-			return order.LDG(g, 64)
-		}},
-		{Name: GorderName, Compute: func(g *graph.Graph, _ uint64) order.Permutation {
-			return core.Order(g)
-		}},
+	paper := registry.PaperContenders()
+	out := make([]Ordering, len(paper))
+	for i, desc := range paper {
+		name := desc.Name
+		out[i] = Ordering{
+			Name: name,
+			Compute: func(ctx context.Context, g *graph.Graph, seed uint64) (order.Permutation, error) {
+				return registry.Compute(ctx, g, name, registry.Options{Seed: seed})
+			},
+		}
 	}
+	return out
 }
 
-// Kernel is one of the paper's nine benchmark algorithms, with a
-// native entry point for wall-clock timing and a traced entry point
-// for the cache-statistics experiments. Parameters (PageRank
-// iterations, diameter samples) are fields so experiments can scale
-// them.
-type Kernel struct {
-	Name string
-	Run  func(g *graph.Graph, p Params)
-	// RunTraced receives both the traced view and the source graph
-	// (for order-invariant setup such as picking the SP source or
-	// building Kcore's undirected view).
-	RunTraced func(g *graph.Graph, t *algos.TracedGraph, s *mem.Space, p Params)
-}
+// Kernel is one of the paper's nine benchmark algorithms; see
+// registry.Kernel.
+type Kernel = registry.Kernel
 
 // Params carries the kernel parameters experiments may scale down
-// from the paper's defaults.
-type Params struct {
-	PageRankIters   int
-	DiameterSamples int
-	Seed            uint64
-}
+// from the paper's defaults; see registry.KernelParams.
+type Params = registry.KernelParams
 
 // DefaultParams are the paper's kernel parameters with the
 // laptop-scale diameter sample count.
 func DefaultParams() Params {
-	return Params{
-		PageRankIters:   algos.DefaultPageRankIters,
-		DiameterSamples: algos.DefaultDiameterSamples,
-		Seed:            1,
-	}
+	return registry.DefaultKernelParams()
 }
 
-// spSource picks the Bellman–Ford source: the vertex with the
-// largest out-degree (lowest ID on ties). Degree is preserved by
-// relabeling, so every ordering runs SP from the same logical hub.
-func spSource(g *graph.Graph) graph.NodeID {
-	best := graph.NodeID(0)
-	for v := 1; v < g.NumNodes(); v++ {
-		if g.OutDegree(graph.NodeID(v)) > g.OutDegree(best) {
-			best = graph.NodeID(v)
-		}
-	}
-	return best
-}
-
-// Kernels returns the nine benchmark kernels in the paper's order.
+// Kernels returns the nine benchmark kernels in the paper's order,
+// from the registry catalog.
 func Kernels() []Kernel {
-	return []Kernel{
-		{
-			Name: "NQ",
-			Run:  func(g *graph.Graph, _ Params) { algos.NeighbourQuery(g) },
-			RunTraced: func(_ *graph.Graph, t *algos.TracedGraph, s *mem.Space, _ Params) {
-				algos.TracedNeighbourQuery(t, s)
-			},
-		},
-		{
-			Name: "BFS",
-			Run:  func(g *graph.Graph, _ Params) { algos.BFSAll(g) },
-			RunTraced: func(_ *graph.Graph, t *algos.TracedGraph, s *mem.Space, _ Params) {
-				algos.TracedBFSAll(t, s)
-			},
-		},
-		{
-			Name: "DFS",
-			Run:  func(g *graph.Graph, _ Params) { algos.DFSAll(g) },
-			RunTraced: func(_ *graph.Graph, t *algos.TracedGraph, s *mem.Space, _ Params) {
-				algos.TracedDFSAll(t, s)
-			},
-		},
-		{
-			Name: "SCC",
-			Run:  func(g *graph.Graph, _ Params) { algos.SCC(g) },
-			RunTraced: func(_ *graph.Graph, t *algos.TracedGraph, s *mem.Space, _ Params) {
-				algos.TracedSCC(t, s)
-			},
-		},
-		{
-			Name: "SP",
-			Run: func(g *graph.Graph, _ Params) {
-				algos.BellmanFord(g, spSource(g))
-			},
-			RunTraced: func(g *graph.Graph, t *algos.TracedGraph, s *mem.Space, _ Params) {
-				algos.TracedBellmanFord(t, s, spSource(g))
-			},
-		},
-		{
-			Name: "PR",
-			Run: func(g *graph.Graph, p Params) {
-				algos.PageRank(g, p.PageRankIters, algos.DefaultDamping)
-			},
-			RunTraced: func(_ *graph.Graph, t *algos.TracedGraph, s *mem.Space, p Params) {
-				algos.TracedPageRank(t, s, p.PageRankIters, algos.DefaultDamping)
-			},
-		},
-		{
-			Name: "DS",
-			Run:  func(g *graph.Graph, _ Params) { algos.DominatingSet(g) },
-			RunTraced: func(_ *graph.Graph, t *algos.TracedGraph, s *mem.Space, _ Params) {
-				algos.TracedDominatingSet(t, s)
-			},
-		},
-		{
-			Name: "Kcore",
-			Run:  func(g *graph.Graph, _ Params) { algos.CoreNumbers(g) },
-			RunTraced: func(g *graph.Graph, _ *algos.TracedGraph, s *mem.Space, _ Params) {
-				algos.TracedCoreNumbers(g, s)
-			},
-		},
-		{
-			Name: "Diam",
-			Run: func(g *graph.Graph, p Params) {
-				algos.Diameter(g, p.DiameterSamples, p.Seed)
-			},
-			RunTraced: func(_ *graph.Graph, t *algos.TracedGraph, s *mem.Space, p Params) {
-				algos.TracedDiameter(t, s, p.DiameterSamples, p.Seed)
-			},
-		},
-	}
+	return registry.PaperKernels()
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"gorder/internal/graph"
 	"gorder/internal/mem"
 	"gorder/internal/order"
+	"gorder/internal/registry"
 	"gorder/internal/stats"
 )
 
@@ -34,6 +36,10 @@ type Runner struct {
 	// Progress, when non-nil, receives one line per completed step so
 	// long runs show life.
 	Progress io.Writer
+	// Ctx, when non-nil, bounds the ordering computations; a canceled
+	// run panics out of prepare (the harness has no partial-result
+	// mode). Nil means context.Background().
+	Ctx context.Context
 
 	prepared map[string]*prepared
 	matrix   *Matrix
@@ -91,10 +97,18 @@ func (r *Runner) prepare(ds Dataset) *prepared {
 		relabeled: make(map[string]*graph.Graph),
 		orderSecs: make(map[string]float64),
 	}
+	ctx := r.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for _, o := range Orderings() {
-		start := time.Now()
-		perm := o.Compute(g, r.Seed)
-		p.orderSecs[o.Name] = time.Since(start).Seconds()
+		// The registry's instrumented path both computes and times the
+		// ordering, so bench and gorderd report from one code path.
+		perm, obs, err := registry.ComputeObserved(ctx, g, o.Name, registry.Options{Seed: r.Seed})
+		if err != nil {
+			panic(fmt.Sprintf("bench: ordering %s on %s: %v", o.Name, ds.Name, err))
+		}
+		p.orderSecs[o.Name] = obs.Duration.Seconds()
 		p.perms[o.Name] = perm
 		p.relabeled[o.Name] = g.Relabel(perm)
 		r.logf("prepared %s/%s in %.2fs", ds.Name, o.Name, p.orderSecs[o.Name])

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 
 	"gorder/internal/cache"
@@ -41,7 +42,7 @@ func TestShapeGorderReducesMisses(t *testing.T) {
 		{"web", gen.Web(30000, gen.DefaultWeb, 3)},
 	} {
 		g := tc.g
-		gord := cacheStatsFor(t, r, g, orderingByName(t, GorderName).Compute(g, 1))
+		gord := cacheStatsFor(t, r, g, computePerm(t, orderingByName(t, GorderName), g))
 		orig := cacheStatsFor(t, r, g, order.Identity(g.NumNodes()))
 		rnd := cacheStatsFor(t, r, g, order.Random(g.NumNodes(), 5))
 		if !(gord.L1MissRate() < orig.L1MissRate()) {
@@ -70,7 +71,7 @@ func TestShapeStallDominatesAndDrops(t *testing.T) {
 	r := NewRunner()
 	r.Params = r.cacheParams()
 	g := gen.BarabasiAlbert(30000, 8, 9)
-	gord := cacheStatsFor(t, r, g, orderingByName(t, GorderName).Compute(g, 1))
+	gord := cacheStatsFor(t, r, g, computePerm(t, orderingByName(t, GorderName), g))
 	orig := cacheStatsFor(t, r, g, order.Identity(g.NumNodes()))
 	cfg := r.CacheCfg
 	if gord.StallCycles(cfg) >= orig.StallCycles(cfg) {
@@ -82,6 +83,15 @@ func TestShapeStallDominatesAndDrops(t *testing.T) {
 	if ratio < 0.98 || ratio > 1.02 {
 		t.Errorf("CPU cycles diverge: ratio %.3f", ratio)
 	}
+}
+
+func computePerm(t *testing.T, o Ordering, g *graph.Graph) order.Permutation {
+	t.Helper()
+	p, err := o.Compute(context.Background(), g, 1)
+	if err != nil {
+		t.Fatalf("%s: %v", o.Name, err)
+	}
+	return p
 }
 
 func orderingByName(t *testing.T, name string) Ordering {

@@ -1,19 +1,19 @@
 // Package cli holds the logic shared by the command-line tools:
-// format-sniffing graph loading and ordering dispatch by name. It
-// exists so the cmd/ mains stay thin and this logic is unit-tested.
+// format-sniffing graph loading and a thin adapter from flag-level
+// ordering specs to the registry. It exists so the cmd/ mains stay
+// thin and this logic is unit-tested. All ordering dispatch lives in
+// internal/registry; this package only translates an OrderingSpec
+// into registry.Options.
 package cli
 
 import (
 	"context"
-	"fmt"
 	"io"
 	"os"
-	"sort"
-	"strings"
 
-	"gorder/internal/core"
 	"gorder/internal/graph"
 	"gorder/internal/order"
+	"gorder/internal/registry"
 )
 
 // ReadGraph loads a graph from path, accepting both the binary CSR
@@ -52,26 +52,30 @@ func ReadGraphFrom(f io.ReadSeeker) (*graph.Graph, error) {
 	return ReadGraphBytes(data)
 }
 
-// OrderingSpec configures ComputeOrdering.
+// OrderingSpec configures ComputeOrdering. It is the flag/JSON-level
+// view of registry.Options plus the method name.
 type OrderingSpec struct {
-	Method string // case-insensitive ordering name
-	Window int    // gorder window (0 = default)
-	Hub    int    // gorder hub-skip threshold (0 = exact)
-	Seed   uint64 // seed for stochastic methods
+	Method  string // case-insensitive ordering name
+	Window  int    // gorder window (0 = default)
+	Hub     int    // gorder hub-skip threshold (0 = exact)
+	Seed    uint64 // seed for stochastic methods
+	LDGBins int    // LDG bin count (0 = registry.DefaultLDGBins)
 }
 
-// methodNames lists the orderings ComputeOrdering accepts.
-var methodNames = []string{
-	"chdfs", "dbg", "gorder", "gorder-parallel", "hubsort", "indegsort",
-	"ldg", "minla", "minloga", "multilevel", "original", "random", "rcm",
-	"slashburn", "slashburn-full",
+// options translates the spec into registry options.
+func (s OrderingSpec) options() registry.Options {
+	return registry.Options{
+		Window:       s.Window,
+		HubThreshold: s.Hub,
+		Seed:         s.Seed,
+		LDGBins:      s.LDGBins,
+	}
 }
 
-// MethodNames returns the accepted ordering names, sorted.
+// MethodNames returns the accepted ordering names, sorted. It is the
+// registry catalog verbatim.
 func MethodNames() []string {
-	out := append([]string(nil), methodNames...)
-	sort.Strings(out)
-	return out
+	return registry.MethodNames()
 }
 
 // ComputeOrdering dispatches an ordering by name.
@@ -80,62 +84,8 @@ func ComputeOrdering(g *graph.Graph, spec OrderingSpec) (order.Permutation, erro
 }
 
 // ComputeOrderingCtx dispatches an ordering by name with cooperative
-// cancellation. The Gorder variants check ctx inside their greedy
-// loops; the cheap baselines run to completion but the dispatcher
-// refuses to start once ctx is done, so a deadline bounds every
-// method's queue-to-start latency even when it cannot interrupt the
-// method itself.
+// cancellation, via the registry. Kept as a compatibility shim for
+// callers written against the pre-registry API.
 func ComputeOrderingCtx(ctx context.Context, g *graph.Graph, spec OrderingSpec) (order.Permutation, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	switch strings.ToLower(spec.Method) {
-	case "gorder":
-		return core.OrderWithCtx(ctx, g, core.Options{Window: spec.Window, HubThreshold: spec.Hub})
-	case "gorder-parallel":
-		return core.OrderParallelCtx(ctx, g, core.Options{Window: spec.Window, HubThreshold: spec.Hub}, 0)
-	case "multilevel":
-		var coarseErr error
-		p := order.Multilevel(g, order.MultilevelOptions{
-			OrderCoarse: func(cg *graph.Graph) order.Permutation {
-				cp, err := core.OrderWithCtx(ctx, cg, core.Options{Window: spec.Window, HubThreshold: spec.Hub})
-				if err != nil {
-					coarseErr = err
-					return order.Identity(cg.NumNodes())
-				}
-				return cp
-			},
-		})
-		if coarseErr != nil {
-			return nil, coarseErr
-		}
-		return p, nil
-	case "original":
-		return order.Identity(g.NumNodes()), nil
-	case "random":
-		return order.Random(g.NumNodes(), spec.Seed), nil
-	case "rcm":
-		return order.RCM(g), nil
-	case "indegsort":
-		return order.InDegSort(g), nil
-	case "chdfs":
-		return order.ChDFS(g), nil
-	case "slashburn":
-		return order.SlashBurn(g), nil
-	case "slashburn-full":
-		return order.SlashBurnFull(g, 0), nil
-	case "hubsort":
-		return order.HubSort(g), nil
-	case "dbg":
-		return order.DBG(g), nil
-	case "ldg":
-		return order.LDG(g, 64), nil
-	case "minla":
-		return order.MinLA(g, order.AnnealOptions{Seed: spec.Seed}), nil
-	case "minloga":
-		return order.MinLogA(g, order.AnnealOptions{Seed: spec.Seed}), nil
-	default:
-		return nil, fmt.Errorf("unknown ordering %q (known: %s)",
-			spec.Method, strings.Join(MethodNames(), " "))
-	}
+	return registry.Compute(ctx, g, spec.Method, spec.options())
 }

@@ -90,6 +90,39 @@ func TestPipeline(t *testing.T) {
 	}
 }
 
+// TestListAndLDGBins covers the registry-backed catalog listing and
+// the -ldg-bins option end to end.
+func TestListAndLDGBins(t *testing.T) {
+	out := run(t, "gorder", "-list")
+	for _, want := range []string{"METHOD", "gorder", "slashburn-full", "minla", "ldg"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gorder -list output missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "\n"); n < 15 {
+		t.Errorf("gorder -list printed %d lines, want the full catalog:\n%s", n, out)
+	}
+
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.bin")
+	run(t, "graphgen", "-type", "social", "-n", "1500", "-seed", "2", "-o", graphPath)
+	permA := filepath.Join(dir, "a.perm")
+	permB := filepath.Join(dir, "b.perm")
+	run(t, "gorder", "-i", graphPath, "-method", "ldg", "-perm-out", permA)
+	run(t, "gorder", "-i", graphPath, "-method", "ldg", "-ldg-bins", "8", "-perm-out", permB)
+	a, err := os.ReadFile(permA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(permB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) == string(b) {
+		t.Error("-ldg-bins 8 produced the same permutation as the default bins")
+	}
+}
+
 func TestTraceRecordReplay(t *testing.T) {
 	dir := t.TempDir()
 	graphPath := filepath.Join(dir, "g.bin")

@@ -1,6 +1,7 @@
 package order
 
 import (
+	"context"
 	"math"
 
 	"gorder/internal/gen"
@@ -26,12 +27,28 @@ type AnnealOptions struct {
 // MinLA approximately minimises the linear arrangement energy
 // sum |pi(u)-pi(v)| by simulated annealing.
 func MinLA(g *graph.Graph, opt AnnealOptions) Permutation {
-	return anneal(g, opt, func(d float64) float64 { return d })
+	p, _ := MinLACtx(context.Background(), g, opt)
+	return p
+}
+
+// MinLACtx is MinLA with cooperative cancellation: the annealing loop
+// checks ctx periodically and returns ctx.Err() (with a nil
+// permutation) once the context is done. With the default S = m steps
+// the annealing is the most expensive baseline after Gorder itself, so
+// service deadlines must be able to interrupt it.
+func MinLACtx(ctx context.Context, g *graph.Graph, opt AnnealOptions) (Permutation, error) {
+	return anneal(ctx, g, opt, func(d float64) float64 { return d })
 }
 
 // MinLogA approximately minimises sum log|pi(u)-pi(v)|.
 func MinLogA(g *graph.Graph, opt AnnealOptions) Permutation {
-	return anneal(g, opt, func(d float64) float64 {
+	p, _ := MinLogACtx(context.Background(), g, opt)
+	return p
+}
+
+// MinLogACtx is MinLogA with cooperative cancellation; see MinLACtx.
+func MinLogACtx(ctx context.Context, g *graph.Graph, opt AnnealOptions) (Permutation, error) {
+	return anneal(ctx, g, opt, func(d float64) float64 {
 		if d <= 0 {
 			return 0
 		}
@@ -39,14 +56,22 @@ func MinLogA(g *graph.Graph, opt AnnealOptions) Permutation {
 	})
 }
 
+// annealCancelInterval is how many swap attempts run between context
+// checks: frequent enough that a deadline interrupts within
+// microseconds, rare enough that ctx.Err() stays off the hot path.
+const annealCancelInterval = 1024
+
 // anneal runs the swap-based annealing with the given per-edge
 // distance cost. Each step picks two vertices, computes the exact
 // energy delta of swapping their positions in O(deg_a + deg_b), and
 // accepts per the Metropolis rule.
-func anneal(g *graph.Graph, opt AnnealOptions, cost func(float64) float64) Permutation {
+func anneal(ctx context.Context, g *graph.Graph, opt AnnealOptions, cost func(float64) float64) (Permutation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := g.NumNodes()
 	if n < 2 {
-		return Identity(n)
+		return Identity(n), nil
 	}
 	m := int(g.NumEdges())
 	steps := opt.Steps
@@ -85,6 +110,11 @@ func anneal(g *graph.Graph, opt AnnealOptions, cost func(float64) float64) Permu
 		return e
 	}
 	for s := 0; s < steps; s++ {
+		if s%annealCancelInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		a := graph.NodeID(rng.Intn(n))
 		b := graph.NodeID(rng.Intn(n))
 		if a == b {
@@ -105,5 +135,5 @@ func anneal(g *graph.Graph, opt AnnealOptions, cost func(float64) float64) Permu
 			p[a], p[b] = p[b], p[a]
 		}
 	}
-	return p
+	return p, nil
 }

@@ -1,0 +1,70 @@
+package order
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gorder/internal/gen"
+)
+
+// The annealing loops are the most expensive baselines after Gorder;
+// service deadlines must be able to interrupt them mid-run, not just
+// refuse to start them.
+func TestAnnealCtxShortDeadlineReturnsFast(t *testing.T) {
+	g := gen.BarabasiAlbert(2000, 6, 1)
+	for name, run := range map[string]func(ctx context.Context) (Permutation, error){
+		"MinLA": func(ctx context.Context) (Permutation, error) {
+			// Far more steps than a few ms allow, so only cancellation
+			// can explain a fast return.
+			return MinLACtx(ctx, g, AnnealOptions{Steps: 200_000_000, Seed: 1})
+		},
+		"MinLogA": func(ctx context.Context) (Permutation, error) {
+			return MinLogACtx(ctx, g, AnnealOptions{Steps: 200_000_000, Seed: 1})
+		},
+	} {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+		start := time.Now()
+		p, err := run(ctx)
+		elapsed := time.Since(start)
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s: err = %v, want DeadlineExceeded", name, err)
+		}
+		if p != nil {
+			t.Errorf("%s: canceled run returned a permutation", name)
+		}
+		// Generous bound: the run must end promptly after the 10 ms
+		// deadline, nowhere near the hundreds of seconds the full step
+		// count would take.
+		if elapsed > 2*time.Second {
+			t.Errorf("%s: deadline-exceeded run took %s", name, elapsed)
+		}
+	}
+}
+
+func TestAnnealCtxCanceledBeforeStart(t *testing.T) {
+	g := gen.BarabasiAlbert(50, 3, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MinLACtx(ctx, g, AnnealOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("MinLACtx on canceled ctx: %v", err)
+	}
+}
+
+// The ctx variants with a background context must match the plain
+// entry points exactly (same RNG stream, same result).
+func TestAnnealCtxMatchesPlain(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 4, 2)
+	plain := MinLA(g, AnnealOptions{Seed: 7})
+	withCtx, err := MinLACtx(context.Background(), g, AnnealOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != withCtx[i] {
+			t.Fatal("MinLACtx(Background) diverges from MinLA")
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"gorder/internal/gen"
+	"gorder/internal/graph"
+	"gorder/internal/order"
+)
+
+func TestCatalogAlphabetised(t *testing.T) {
+	names := Names()
+	if !sort.SliceIsSorted(names, func(a, b int) bool {
+		return strings.ToLower(names[a]) < strings.ToLower(names[b])
+	}) {
+		t.Errorf("ordering catalog not alphabetised: %v", names)
+	}
+	kn := make([]string, 0, len(kernels))
+	for _, k := range kernels {
+		kn = append(kn, k.Name)
+	}
+	if !sort.SliceIsSorted(kn, func(a, b int) bool {
+		return strings.ToLower(kn[a]) < strings.ToLower(kn[b])
+	}) {
+		t.Errorf("kernel catalog not alphabetised: %v", kn)
+	}
+}
+
+func TestLookupCaseInsensitiveAndAliases(t *testing.T) {
+	for _, name := range []string{"gorder", "GORDER", "Gorder", "slashburn-full", "identity"} {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("Lookup(%q) failed", name)
+		}
+	}
+	if o, _ := Lookup("identity"); o.Name != "Original" {
+		t.Errorf("alias identity resolved to %q, want Original", o.Name)
+	}
+	if _, ok := Lookup("metis"); ok {
+		t.Error("Lookup(metis) succeeded; Metis is out of scope")
+	}
+}
+
+func TestEveryOrderingComputesValidPermutation(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 4, 1)
+	for _, o := range Orderings() {
+		p, err := o.Compute(context.Background(), g, Options{Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", o.Name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: invalid permutation: %v", o.Name, err)
+		}
+	}
+}
+
+func TestComputeUnknownOrdering(t *testing.T) {
+	g := graph.FromEdges(2, nil)
+	if _, err := Compute(context.Background(), g, "metis", Options{}); err == nil {
+		t.Fatal("unknown ordering accepted")
+	}
+}
+
+func TestEveryOrderingRefusesDoneContext(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 3, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, o := range Orderings() {
+		if _, err := Compute(ctx, g, o.Name, Options{}); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", o.Name, err)
+		}
+	}
+}
+
+func TestLDGBinsOption(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 4, 1)
+	p64, err := Compute(context.Background(), g, "ldg", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, err := Compute(context.Background(), g, "ldg", Options{LDGBins: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range p64 {
+		if p64[i] != p8[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("LDGBins=8 produced the same ordering as the default 64 bins")
+	}
+	// The default is the documented 64.
+	pDefault := order.LDG(g, DefaultLDGBins)
+	for i := range p64 {
+		if p64[i] != pDefault[i] {
+			t.Fatal("zero LDGBins does not match the documented default of 64")
+		}
+	}
+}
+
+func TestSeedReachesStochasticMethods(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 4, 1)
+	for _, name := range []string{"random", "minla", "minloga"} {
+		a, err := Compute(context.Background(), g, name, Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Compute(context.Background(), g, name, Options{Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: seeds 1 and 99 produced identical permutations", name)
+		}
+	}
+}
+
+func TestObserversSeeComputations(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 3, 1)
+	var seen []Observation
+	remove := AddObserver(func(o Observation) { seen = append(seen, o) })
+	defer remove()
+
+	if _, obs, err := ComputeObserved(context.Background(), g, "rcm", Options{}); err != nil {
+		t.Fatal(err)
+	} else if obs.Ordering != "RCM" || obs.Canceled || obs.Duration < 0 {
+		t.Errorf("bad observation %+v", obs)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, obs, err := ComputeObserved(ctx, g, "gorder", Options{}); err == nil {
+		t.Fatal("expired deadline not honoured")
+	} else if !obs.Canceled {
+		t.Errorf("observation not marked canceled: %+v", obs)
+	}
+
+	if len(seen) != 2 {
+		t.Fatalf("observer saw %d observations, want 2", len(seen))
+	}
+	remove()
+	if _, err := Compute(context.Background(), g, "original", Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 {
+		t.Error("removed observer still notified")
+	}
+}
+
+func TestPaperContendersAndKernels(t *testing.T) {
+	cs := PaperContenders()
+	if len(cs) != 10 {
+		t.Fatalf("contenders = %d, want 10", len(cs))
+	}
+	if cs[len(cs)-1].Name != GorderName {
+		t.Errorf("last contender %q, want %s", cs[len(cs)-1].Name, GorderName)
+	}
+	ks := PaperKernels()
+	if len(ks) != 9 {
+		t.Fatalf("paper kernels = %d, want 9", len(ks))
+	}
+	for _, k := range ks {
+		if !k.Paper {
+			t.Errorf("kernel %s from PaperKernels not marked Paper", k.Name)
+		}
+		if k.Run == nil || k.RunTraced == nil {
+			t.Errorf("kernel %s missing an entry point", k.Name)
+		}
+	}
+	for _, k := range Kernels() {
+		if k.Run == nil || k.RunTraced == nil {
+			t.Errorf("kernel %s missing an entry point", k.Name)
+		}
+	}
+}
+
+func TestLookupKernel(t *testing.T) {
+	for _, name := range []string{"PR", "pr", "Kcore", "KCORE", "WCC", "Tri", "LP"} {
+		if _, ok := LookupKernel(name); !ok {
+			t.Errorf("LookupKernel(%q) failed", name)
+		}
+	}
+	if _, ok := LookupKernel("nope"); ok {
+		t.Error("bogus kernel found")
+	}
+}

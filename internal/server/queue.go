@@ -40,6 +40,8 @@ type JobRequest struct {
 	Window int    `json:"window,omitempty"` // gorder window (0 = default)
 	Hub    int    `json:"hub,omitempty"`    // gorder hub-skip threshold
 	Seed   uint64 `json:"seed,omitempty"`   // seed for stochastic methods
+	// LDGBins sets the LDG bin count (0 = the default 64).
+	LDGBins int `json:"ldg_bins,omitempty"`
 	// OfJob points an eval job at a completed order job whose
 	// permutation it should score; empty scores the identity ordering.
 	OfJob string `json:"of_job,omitempty"`

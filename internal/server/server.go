@@ -12,9 +12,9 @@ import (
 	"time"
 
 	"gorder"
-	"gorder/internal/cli"
 	"gorder/internal/core"
 	"gorder/internal/order"
+	"gorder/internal/registry"
 )
 
 // Config configures a Server. The zero value is usable: one worker, a
@@ -38,6 +38,13 @@ type Server struct {
 
 	httpRequests *Counter
 	httpErrors   *Counter
+
+	// Per-ordering instrumentation, fed by the registry's observation
+	// hook: runs, cumulative wall milliseconds, and cancellations,
+	// keyed by lowercase ordering name.
+	orderingRuns     map[string]*Counter
+	orderingMS       map[string]*Counter
+	orderingCanceled map[string]*Counter
 }
 
 // New builds a Server (workers not yet started; call Start).
@@ -56,11 +63,25 @@ func New(cfg Config) *Server {
 		Reg:          NewRegistry(m),
 		httpRequests: m.Counter("http_requests_total"),
 		httpErrors:   m.Counter("http_errors_total"),
+
+		orderingRuns:     make(map[string]*Counter),
+		orderingMS:       make(map[string]*Counter),
+		orderingCanceled: make(map[string]*Counter),
+	}
+	// Pre-register one counter triple per catalog ordering so /metrics
+	// exposes every method from startup (zeros included) and the
+	// observation hook never registers metrics concurrently.
+	for _, desc := range registry.Orderings() {
+		key := strings.ToLower(desc.Name)
+		s.orderingRuns[key] = m.Counter("ordering_runs_" + key)
+		s.orderingMS[key] = m.Counter("ordering_ms_" + key)
+		s.orderingCanceled[key] = m.Counter("ordering_canceled_" + key)
 	}
 	s.Pool = NewPool(cfg.Pool, m, cfg.Logger, s.execute)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/methods", s.handleMethods)
 	s.mux.HandleFunc("/graphs", s.handleGraphs)
 	s.mux.HandleFunc("/graphs/", s.handleGraphByID)
 	s.mux.HandleFunc("/jobs", s.handleJobs)
@@ -135,6 +156,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	s.Metrics.WriteJSON(w)
+}
+
+// methodInfo is the /methods view of one registry ordering: the
+// canonical name plus the capability metadata a client needs to pick
+// a method and set expectations (can it be canceled mid-run? does the
+// seed matter? roughly how expensive is it?).
+type methodInfo struct {
+	Name        string   `json:"name"`
+	Aliases     []string `json:"aliases,omitempty"`
+	Stochastic  bool     `json:"stochastic"`
+	Cancellable bool     `json:"cancellable"`
+	Cost        string   `json:"cost"`
+}
+
+// handleMethods serves GET /methods: the ordering and kernel catalogs
+// the daemon accepts, straight from the registry.
+func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, r, http.MethodGet)
+		return
+	}
+	descs := registry.Orderings()
+	infos := make([]methodInfo, len(descs))
+	for i, d := range descs {
+		infos[i] = methodInfo{
+			Name:        d.Name,
+			Aliases:     d.Aliases,
+			Stochastic:  d.Stochastic,
+			Cancellable: d.Cancellable,
+			Cost:        string(d.Cost),
+		}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"orderings": infos,
+		"kernels":   registry.KernelNames(),
+	})
 }
 
 // handleGraphs serves GET /graphs (list) and POST /graphs (upload).
@@ -247,19 +304,17 @@ func (s *Server) validateJob(req *JobRequest) (code, msg string) {
 		if req.Method == "" {
 			req.Method = "gorder"
 		}
-		known := false
-		for _, m := range cli.MethodNames() {
-			if strings.EqualFold(m, req.Method) {
-				known = true
-				break
-			}
-		}
-		if !known {
+		if _, ok := registry.Lookup(req.Method); !ok {
 			return "unknown_method", fmt.Sprintf("unknown ordering %q (known: %s)",
-				req.Method, strings.Join(cli.MethodNames(), " "))
+				req.Method, strings.Join(registry.MethodNames(), " "))
 		}
 	case KindEval:
-		// Kernel validity is checked at run time by SimulateCache.
+		if req.Kernel != "" {
+			if _, ok := registry.LookupKernel(req.Kernel); !ok {
+				return "unknown_kernel", fmt.Sprintf("unknown kernel %q (known: %s)",
+					req.Kernel, strings.Join(registry.KernelNames(), " "))
+			}
+		}
 	default:
 		return "unknown_kind", fmt.Sprintf("unknown job kind %q (known: %s, %s)",
 			req.Kind, KindOrder, KindEval)
@@ -316,6 +371,22 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 
 // ---- job execution ------------------------------------------------------
 
+// observeOrdering folds one registry observation into the per-method
+// counters. Observations for unknown methods (a failed lookup leaves
+// Ordering empty) are dropped.
+func (s *Server) observeOrdering(obs registry.Observation) {
+	key := strings.ToLower(obs.Ordering)
+	if c, ok := s.orderingRuns[key]; ok {
+		c.Inc()
+	} else {
+		return
+	}
+	s.orderingMS[key].Add(obs.Duration.Milliseconds())
+	if obs.Canceled {
+		s.orderingCanceled[key].Inc()
+	}
+}
+
 // execute is the pool's executor: it resolves the graph, runs the
 // ordering or evaluation with the job's context, and returns the
 // metrics that end up in the job status.
@@ -332,9 +403,10 @@ func (s *Server) execute(ctx context.Context, req JobRequest, found func(order.P
 	}
 	switch req.Kind {
 	case KindOrder:
-		perm, err := cli.ComputeOrderingCtx(ctx, g, cli.OrderingSpec{
-			Method: req.Method, Window: req.Window, Hub: req.Hub, Seed: req.Seed,
+		perm, obs, err := registry.ComputeObserved(ctx, g, req.Method, registry.Options{
+			Window: req.Window, HubThreshold: req.Hub, Seed: req.Seed, LDGBins: req.LDGBins,
 		})
+		s.observeOrdering(obs)
 		if err != nil {
 			return nil, err
 		}

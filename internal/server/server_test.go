@@ -173,6 +173,32 @@ func TestDeadlineCancelsJob(t *testing.T) {
 	}
 }
 
+// TestDeadlineCancelsAnnealJob proves the per-job deadline interrupts
+// the simulated-annealing baselines mid-run — the two most expensive
+// methods after Gorder — and that the cancellation shows up in the
+// per-ordering metrics the registry hook feeds.
+func TestDeadlineCancelsAnnealJob(t *testing.T) {
+	s, ts := newTestServer(t, Config{Pool: PoolConfig{Workers: 1, QueueDepth: 8}})
+	g := gen.BarabasiAlbert(30000, 8, 7)
+	postGraph(t, ts, "big", edgeListBytes(t, g))
+
+	for _, method := range []string{"minla", "minloga"} {
+		job := postJob(t, ts, JobRequest{Kind: KindOrder, Graph: "big", Method: method, TimeoutMs: 1})
+		if st := waitJob(t, ts, job.ID); st.State != StateCanceled {
+			t.Fatalf("%s deadline job ended %s, want canceled", method, st.State)
+		}
+	}
+	snap := s.Metrics.Snapshot()
+	for _, method := range []string{"minla", "minloga"} {
+		if got := snap["ordering_runs_"+method]; got < 1 {
+			t.Errorf("ordering_runs_%s = %d, want >= 1", method, got)
+		}
+		if got := snap["ordering_canceled_"+method]; got < 1 {
+			t.Errorf("ordering_canceled_%s = %d, want >= 1", method, got)
+		}
+	}
+}
+
 func TestEvalJobScoresOrderJob(t *testing.T) {
 	_, ts := newTestServer(t, Config{Pool: PoolConfig{Workers: 2, QueueDepth: 8}})
 	g := gen.Web(500, gen.DefaultWeb, 3)

@@ -6,6 +6,15 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> single-dispatch gate (name switches only in internal/registry)"
+# All ordering/kernel dispatch-by-name must live in internal/registry;
+# a name switch anywhere else reintroduces the drift this repo removed.
+if grep -rn --include='*.go' -e 'switch strings\.ToLower' -e 'case Kernel[A-Z]' \
+    cmd internal examples ./*.go 2>/dev/null | grep -v '^internal/registry/'; then
+    echo "FAIL: ordering/kernel name dispatch outside internal/registry" >&2
+    exit 1
+fi
+
 echo "==> go build ./..."
 go build ./...
 
@@ -15,8 +24,9 @@ go vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> GOMAXPROCS=1 go test (serial ingest fallback)"
-GOMAXPROCS=1 go test ./internal/graph/ ./internal/cli/ ./internal/server/
+echo "==> GOMAXPROCS=1 go test (serial ingest fallback + registry parity)"
+GOMAXPROCS=1 go test ./internal/graph/ ./internal/cli/ ./internal/server/ ./internal/registry/
+GOMAXPROCS=1 go test -run 'TestParity' .
 
 echo "==> ingest benchmark smoke (-benchtime=1x)"
 go test ./internal/graph/ -run='^$' -bench=. -benchtime=1x

@@ -7,6 +7,7 @@ import (
 	"gorder/internal/cache"
 	"gorder/internal/compress"
 	"gorder/internal/mem"
+	"gorder/internal/registry"
 	"gorder/internal/reuse"
 )
 
@@ -30,7 +31,8 @@ func ReplicationCache() CacheConfig { return cache.ReplicationMachine() }
 // paper's billion-edge graphs put on a real L3.
 func SmallCache() CacheConfig { return cache.SmallMachine() }
 
-// Kernel names accepted by SimulateCache.
+// Kernel names accepted by SimulateCache. The constants mirror the
+// internal/registry kernel catalog (the parity test enforces this).
 const (
 	KernelNQ    = "NQ"
 	KernelBFS   = "BFS"
@@ -46,6 +48,10 @@ const (
 	KernelTriangles = "Tri"
 	KernelLabelProp = "LP"
 )
+
+// KernelNames returns every kernel name SimulateCache accepts,
+// sorted — the registry catalog verbatim.
+func KernelNames() []string { return registry.KernelNames() }
 
 // SimulateCache runs the named benchmark kernel on g with every data
 // access routed through a simulated hierarchy, and returns the cache
@@ -63,39 +69,26 @@ func SimulateCache(g *Graph, kernel string, cfg CacheConfig) (CacheReport, error
 	return h.Report(), nil
 }
 
+// facadeKernelParams are the fixed, simulation-scale parameters the
+// facade has always used: 10 PR iterations, 5 diameter samples with
+// seed 1, Bellman–Ford from vertex 0, default LP sweeps.
+var facadeKernelParams = registry.KernelParams{
+	PageRankIters:   10,
+	DiameterSamples: 5,
+	Seed:            1,
+	SPSource:        0,
+}
+
 // runTracedKernel executes the named kernel's traced variant against
-// the given hierarchy.
+// the given hierarchy, resolved through the registry catalog.
 func runTracedKernel(g *Graph, kernel string, h *cache.Hierarchy) error {
-	s := mem.NewSpace(h)
-	t := algos.NewTracedGraph(g, s)
-	switch kernel {
-	case KernelNQ:
-		algos.TracedNeighbourQuery(t, s)
-	case KernelBFS:
-		algos.TracedBFSAll(t, s)
-	case KernelDFS:
-		algos.TracedDFSAll(t, s)
-	case KernelSCC:
-		algos.TracedSCC(t, s)
-	case KernelSP:
-		algos.TracedBellmanFord(t, s, 0)
-	case KernelPR:
-		algos.TracedPageRank(t, s, 10, algos.DefaultDamping)
-	case KernelDS:
-		algos.TracedDominatingSet(t, s)
-	case KernelKcore:
-		algos.TracedCoreNumbers(g, s)
-	case KernelDiam:
-		algos.TracedDiameter(t, s, 5, 1)
-	case KernelWCC:
-		algos.TracedWCC(g, t, s)
-	case KernelTriangles:
-		algos.TracedTriangleCount(g, s)
-	case KernelLabelProp:
-		algos.TracedLabelPropagation(g, s, 0)
-	default:
+	k, ok := registry.LookupKernel(kernel)
+	if !ok {
 		return fmt.Errorf("gorder: unknown kernel %q", kernel)
 	}
+	s := mem.NewSpace(h)
+	t := algos.NewTracedGraph(g, s)
+	k.RunTraced(g, t, s, facadeKernelParams)
 	return nil
 }
 
