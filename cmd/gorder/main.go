@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"gorder"
 	"gorder/internal/cli"
 	"gorder/internal/registry"
+	"gorder/internal/store"
 )
 
 func main() {
@@ -82,25 +84,24 @@ func main() {
 		fmt.Printf("linear_cost   %.0f\n", gorder.LinearCost(g, perm))
 		fmt.Printf("log_cost      %.0f\n", gorder.LogCost(g, perm))
 	}
+	// Outputs land atomically (temp file + rename): an interrupted run
+	// never leaves a half-written permutation or graph under the target
+	// name.
 	if *permOut != "" {
-		f, err := os.Create(*permOut)
+		err := store.WriteFileAtomic(*permOut, 0o644, func(w io.Writer) error {
+			_, err := perm.WriteTo(w)
+			return err
+		})
 		if err != nil {
-			fail(err)
-		}
-		if _, err := perm.WriteTo(f); err != nil {
-			fail(err)
-		}
-		if err := f.Close(); err != nil {
 			fail(err)
 		}
 	}
 	if *out != "" {
-		f, err := os.Create(*out)
+		relabeled := gorder.Apply(g, perm)
+		err := store.WriteFileAtomic(*out, 0o644, func(w io.Writer) error {
+			return relabeled.WriteBinary(w)
+		})
 		if err != nil {
-			fail(err)
-		}
-		defer f.Close()
-		if err := gorder.Apply(g, perm).WriteBinary(f); err != nil {
 			fail(err)
 		}
 	}

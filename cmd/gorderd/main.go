@@ -18,6 +18,13 @@
 // On SIGINT/SIGTERM the daemon stops accepting work, lets in-flight
 // jobs finish within the grace period, and persists still-queued jobs
 // to the manifest file, which the next start replays.
+//
+// With -data-dir the daemon keeps a persistent store: uploaded graphs
+// and computed ordering permutations are written there and served
+// again after a restart, and repeat order jobs are answered from the
+// artifact cache without recomputation. -mem-budget bounds how many
+// graph bytes stay resident in memory; least-recently-used graphs are
+// evicted and transparently reloaded from disk when next needed.
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"time"
 
 	"gorder/internal/server"
+	"gorder/internal/store"
 )
 
 func main() {
@@ -44,6 +52,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 5*time.Minute, "default per-job deadline")
 		grace     = flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight jobs")
 		dataDir   = flag.String("data", "", "directory of graph files to preload (.bin .graph .txt .el .edges)")
+		storeDir  = flag.String("data-dir", "", "persistent store directory for graphs and ordering artifacts ('' = in-memory only)")
+		memBudget = flag.Int64("mem-budget", 0, "byte budget for graphs held resident in memory; evicted graphs reload from the store (0 = unlimited; needs -data-dir)")
 		maxUpload = flag.Int64("max-upload", 32<<20, "max graph upload size in bytes")
 		manifest  = flag.String("manifest", "gorderd.manifest.json", "queued-job manifest persisted on shutdown ('' disables)")
 		verbose   = flag.Bool("v", false, "debug logging")
@@ -56,6 +66,21 @@ func main() {
 	}
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(store.Config{Dir: *storeDir, MemBudget: *memBudget})
+		if err != nil {
+			log.Error("opening data store", "dir", *storeDir, "err", err)
+			os.Exit(1)
+		}
+		log.Info("data store opened", "dir", *storeDir,
+			"graphs", st.GraphCount(), "orders", st.OrderCount(), "mem_budget", *memBudget)
+	} else if *memBudget != 0 {
+		log.Error("-mem-budget requires -data-dir (evicted graphs must have a disk copy to reload from)")
+		os.Exit(1)
+	}
+
 	srv := server.New(server.Config{
 		Pool: server.PoolConfig{
 			Workers:        *workers,
@@ -64,6 +89,7 @@ func main() {
 		},
 		MaxUpload: *maxUpload,
 		Logger:    log,
+		Store:     st,
 	})
 
 	if *dataDir != "" {
@@ -128,6 +154,11 @@ func main() {
 	if err := srv.DrainAndPersist(*grace, *manifest); err != nil {
 		log.Error("drain failed", "err", err)
 		os.Exit(1)
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			log.Warn("closing data store", "err", err)
+		}
 	}
 	log.Info("gorderd stopped")
 }

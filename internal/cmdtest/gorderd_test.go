@@ -256,3 +256,92 @@ func TestGorderdManifestReplay(t *testing.T) {
 		t.Fatalf("second gorderd exited uncleanly: %v", err)
 	}
 }
+
+// TestGorderdStoreSurvivesRestart is the persistence acceptance flow:
+// a graph uploaded to a -data-dir daemon and the ordering it computed
+// both outlive the process. The restarted daemon lists the graph
+// without re-upload and answers the repeat job from the artifact
+// store instead of recomputing.
+func TestGorderdStoreSurvivesRestart(t *testing.T) {
+	storeDir := t.TempDir()
+	srcDir := t.TempDir()
+	graphPath := filepath.Join(srcDir, "g.txt")
+	run(t, "graphgen", "-type", "social", "-n", "900", "-seed", "21", "-format", "text", "-o", graphPath)
+	data, err := os.ReadFile(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	submitAndWait := func(base string) map[string]any {
+		t.Helper()
+		body := `{"kind":"order","graph":"social900","method":"gorder","window":6}`
+		code, job := httpJSON[map[string]any](t, http.MethodPost, base+"/jobs", "application/json", strings.NewReader(body))
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: status %d (%v)", code, job)
+		}
+		id, _ := job["id"].(string)
+		for deadline := time.Now().Add(60 * time.Second); time.Now().Before(deadline); {
+			_, st := httpJSON[map[string]any](t, http.MethodGet, base+"/jobs/"+id, "", nil)
+			switch st["state"] {
+			case "done":
+				return st
+			case "failed", "canceled":
+				t.Fatalf("job ended %v: %v", st["state"], st)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatal("job never finished")
+		return nil
+	}
+
+	base, cmd := startGorderd(t, "-data-dir", storeDir)
+	code, info := httpJSON[map[string]any](t, http.MethodPost,
+		base+"/graphs?name=social900", "application/octet-stream", bytes.NewReader(data))
+	if code != http.StatusCreated {
+		t.Fatalf("upload: status %d (%v)", code, info)
+	}
+	st1 := submitAndWait(base)
+	metrics1, _ := st1["metrics"].(map[string]any)
+	score1, _ := metrics1["score_F"].(float64)
+	if hit, _ := metrics1["cache_hit"].(float64); hit != 0 {
+		t.Fatalf("first job claims a cache hit: %v", metrics1)
+	}
+	cmd.Process.Signal(syscall.SIGTERM)
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("gorderd exited uncleanly: %v", err)
+	}
+
+	// Restart against the same data dir: catalog and artifacts return.
+	base2, cmd2 := startGorderd(t, "-data-dir", storeDir)
+	code, gi := httpJSON[map[string]any](t, http.MethodGet, base2+"/graphs/social900", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("restarted daemon lost the graph: status %d (%v)", code, gi)
+	}
+	if n, _ := gi["nodes"].(float64); int(n) != 900 {
+		t.Fatalf("restored graph nodes = %v, want 900", gi["nodes"])
+	}
+	if onDisk, _ := gi["on_disk"].(bool); !onDisk {
+		t.Fatalf("restored graph not marked on_disk: %v", gi)
+	}
+
+	st2 := submitAndWait(base2)
+	metrics2, _ := st2["metrics"].(map[string]any)
+	if hit, _ := metrics2["cache_hit"].(float64); hit != 1 {
+		t.Fatalf("repeat job not served from the store: %v", metrics2)
+	}
+	if score2, _ := metrics2["score_F"].(float64); score2 != score1 {
+		t.Fatalf("cached score_F %v differs from original %v", metrics2["score_F"], score1)
+	}
+	_, snap := httpJSON[map[string]int64](t, http.MethodGet, base2+"/metrics", "", nil)
+	if snap["store_hits_total"] < 1 {
+		t.Fatalf("store_hits_total = %d after repeat job", snap["store_hits_total"])
+	}
+	if snap["ordering_runs_gorder"] != 0 {
+		t.Fatalf("restarted daemon recomputed the ordering %d times", snap["ordering_runs_gorder"])
+	}
+
+	cmd2.Process.Signal(syscall.SIGTERM)
+	if err := cmd2.Wait(); err != nil {
+		t.Fatalf("second gorderd exited uncleanly: %v", err)
+	}
+}

@@ -86,6 +86,13 @@ func (g *Graph) Edges(fn func(u, v NodeID) bool) {
 	}
 }
 
+// MemoryBytes estimates the heap footprint of the CSR arrays (both
+// directions). The residency budget in internal/store charges graphs
+// against this figure.
+func (g *Graph) MemoryBytes() int64 {
+	return int64(len(g.outIdx)+len(g.inIdx))*8 + int64(len(g.outAdj)+len(g.inAdj))*4
+}
+
 // OutIndex exposes the raw CSR offset array (length N+1). It aliases
 // internal storage and must not be modified; the traced kernels use it
 // to replay the exact memory layout through the cache simulator.

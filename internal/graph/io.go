@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"sync/atomic"
@@ -241,60 +242,103 @@ func (g *Graph) WriteEdgeList(w io.Writer) error {
 	return bw.Flush()
 }
 
-var binaryMagic = [8]byte{'G', 'O', 'R', 'D', 'C', 'S', 'R', '1'}
+// The binary format's 8-byte magic is a 7-byte prefix plus a format-
+// version byte. Version '1' (v0) is the original layout: magic,
+// header, arrays, nothing after. Version '2' (v1) appends a CRC32-IEEE
+// footer over everything before it, so torn or bit-flipped files are
+// detected on load. WriteBinary emits v1; readers accept both.
+var (
+	binaryMagic   = [8]byte{'G', 'O', 'R', 'D', 'C', 'S', 'R', '1'} // v0: no footer
+	binaryMagicV1 = [8]byte{'G', 'O', 'R', 'D', 'C', 'S', 'R', '2'} // v1: CRC32 footer
+)
 
-// WriteBinary writes g in the compact binary CSR format: magic, n, m,
-// then the out-offset and out-adjacency arrays little-endian. The
-// in-direction is rebuilt on load.
+// Sentinel errors for binary-graph decoding. Callers that manage
+// stored blobs (internal/store) use these to tell corruption — a
+// truncated payload or a checksum mismatch, where the blob must be
+// discarded — from a format mismatch, where the bytes were never a
+// gorder binary graph at all.
+var (
+	// ErrBadMagic reports bytes that are not a gorder binary graph
+	// (wrong magic or an unknown format version).
+	ErrBadMagic = errors.New("not a gorder binary graph file")
+	// ErrTruncated reports a structurally valid prefix that ends before
+	// the header, arrays, or checksum footer are complete.
+	ErrTruncated = errors.New("truncated binary graph file")
+	// ErrChecksum reports a v1 file whose CRC32 footer does not match
+	// its contents.
+	ErrChecksum = errors.New("binary graph checksum mismatch")
+)
+
+// WriteBinary writes g in the compact binary CSR format (v1): magic
+// with version byte, n, m, the out-offset and out-adjacency arrays
+// little-endian, then a CRC32-IEEE footer over all preceding bytes.
+// The in-direction is rebuilt on load.
 func (g *Graph) WriteBinary(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(binaryMagic[:]); err != nil {
+	sum := crc32.NewIEEE()
+	cw := io.MultiWriter(bw, sum)
+	if _, err := cw.Write(binaryMagicV1[:]); err != nil {
 		return err
 	}
 	hdr := [2]int64{int64(g.n), g.NumEdges()}
-	if err := binary.Write(bw, binary.LittleEndian, hdr[:]); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, hdr[:]); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.outIdx); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, g.outIdx); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.outAdj); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, g.outAdj); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, sum.Sum32()); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
-// ReadBinary loads a graph written by WriteBinary. The decoded
-// out-CSR arrays become the graph's storage directly and the in-CSR is
-// derived by a counting pass — no intermediate edge list, so peak load
-// memory is the graph itself plus the raw payload.
+// ReadBinary loads a graph written by WriteBinary (either format
+// version). The decoded out-CSR arrays become the graph's storage
+// directly and the in-CSR is derived by a counting pass — no
+// intermediate edge list, so peak load memory is the graph itself plus
+// the raw payload.
 func ReadBinary(r io.Reader) (*Graph, error) {
-	var magic [8]byte
-	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return nil, fmt.Errorf("graph: reading magic: %w", err)
-	}
-	if magic != binaryMagic {
-		return nil, errors.New("graph: not a gorder binary graph file")
-	}
-	payload, err := io.ReadAll(r)
+	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("graph: reading payload: %w", err)
 	}
-	return readBinaryPayload(payload)
+	return ReadBinaryBytes(data)
 }
 
 // ReadBinaryBytes decodes a binary CSR graph already held in memory
-// (an upload body, an mmap) without ReadBinary's payload copy.
+// (an upload body, an mmap) without ReadBinary's payload copy. It
+// accepts both format versions and verifies the v1 checksum footer;
+// failures wrap ErrBadMagic, ErrTruncated, or ErrChecksum.
 func ReadBinaryBytes(data []byte) (*Graph, error) {
-	if len(data) < len(binaryMagic) || [8]byte(data[:8]) != binaryMagic {
-		return nil, errors.New("graph: not a gorder binary graph file")
+	if len(data) < 8 || [7]byte(data[:7]) != [7]byte(binaryMagic[:7]) {
+		return nil, fmt.Errorf("graph: %w", ErrBadMagic)
 	}
-	return readBinaryPayload(data[8:])
+	switch data[7] {
+	case binaryMagic[7]: // v0: no footer
+		return readBinaryPayload(data[8:])
+	case binaryMagicV1[7]: // v1: verify and strip the CRC32 footer
+		if len(data) < 12 {
+			return nil, fmt.Errorf("graph: reading checksum footer: %w", ErrTruncated)
+		}
+		body, foot := data[:len(data)-4], data[len(data)-4:]
+		want := binary.LittleEndian.Uint32(foot)
+		if got := crc32.ChecksumIEEE(body); got != want {
+			return nil, fmt.Errorf("graph: %w (file says %08x, contents sum to %08x)",
+				ErrChecksum, want, got)
+		}
+		return readBinaryPayload(body[8:])
+	default:
+		return nil, fmt.Errorf("graph: %w (unknown format version %q)", ErrBadMagic, data[7])
+	}
 }
 
 func readBinaryPayload(b []byte) (*Graph, error) {
 	if len(b) < 16 {
-		return nil, errors.New("graph: reading header: unexpected EOF")
+		return nil, fmt.Errorf("graph: reading header: %w", ErrTruncated)
 	}
 	n := int64(binary.LittleEndian.Uint64(b))
 	m := int64(binary.LittleEndian.Uint64(b[8:]))
@@ -305,7 +349,7 @@ func readBinaryPayload(b []byte) (*Graph, error) {
 	// Size checks precede every allocation so a corrupt header cannot
 	// provoke a huge make.
 	if int64(len(b)) < (n+1)*8 {
-		return nil, errors.New("graph: reading offsets: unexpected EOF")
+		return nil, fmt.Errorf("graph: reading offsets: %w", ErrTruncated)
 	}
 	outIdx := make([]int64, n+1)
 	for i := range outIdx {
@@ -321,7 +365,7 @@ func readBinaryPayload(b []byte) (*Graph, error) {
 		}
 	}
 	if int64(len(b)) < m*4 {
-		return nil, errors.New("graph: reading adjacency: unexpected EOF")
+		return nil, fmt.Errorf("graph: reading adjacency: %w", ErrTruncated)
 	}
 	outAdj := make([]NodeID, m)
 	var badNeighbor atomic.Int64

@@ -2,6 +2,8 @@ package graph
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -97,6 +99,69 @@ func TestReadBinaryRejectsGarbage(t *testing.T) {
 		if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
 			t.Errorf("case %d: ReadBinary succeeded on garbage", i)
 		}
+	}
+}
+
+// TestReadBinaryErrorSentinels pins the corruption-vs-format-mismatch
+// contract internal/store relies on: bad magic and unknown versions
+// wrap ErrBadMagic, short files wrap ErrTruncated, and a v1 file with
+// a flipped byte wraps ErrChecksum.
+func TestReadBinaryErrorSentinels(t *testing.T) {
+	var buf bytes.Buffer
+	if err := diamond().WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v1 := buf.Bytes()
+
+	check := func(name string, data []byte, want error) {
+		t.Helper()
+		_, err := ReadBinaryBytes(data)
+		if !errors.Is(err, want) {
+			t.Errorf("%s: error %v, want %v", name, err, want)
+		}
+	}
+	check("empty", nil, ErrBadMagic)
+	check("wrong magic", []byte("NOTAGRPHxxxxxxxx"), ErrBadMagic)
+	check("unknown version", append([]byte("GORDCSR9"), v1[8:]...), ErrBadMagic)
+	check("magic only", v1[:8], ErrTruncated)
+	// A longer cut of a v1 file leaves 4 trailing bytes that misread as
+	// the footer, so the CRC check reports it — still corruption-class,
+	// just via the checksum sentinel.
+	check("mid-header cut", v1[:12], ErrChecksum)
+	check("mid-array cut", v1[:len(v1)-6], ErrChecksum)
+
+	flipped := append([]byte(nil), v1...)
+	flipped[10] ^= 0x01
+	check("flipped header byte", flipped, ErrChecksum)
+	flipped = append([]byte(nil), v1...)
+	flipped[len(flipped)-1] ^= 0x01
+	check("flipped footer byte", flipped, ErrChecksum)
+
+	// A truncated v0 file has no footer to fail first: the payload
+	// checks themselves must classify it.
+	var v0 bytes.Buffer
+	v0.Write(binaryMagic[:])
+	binary.Write(&v0, binary.LittleEndian, [2]int64{3, 3})
+	binary.Write(&v0, binary.LittleEndian, []int64{0, 3, 3, 3})
+	check("v0 missing adjacency", v0.Bytes(), ErrTruncated)
+}
+
+// TestReadBinaryAcceptsV0 guards backward compatibility: files in the
+// original footer-less layout (version byte '1') still load and equal
+// their v1 round trip.
+func TestReadBinaryAcceptsV0(t *testing.T) {
+	g := diamond()
+	var v0 bytes.Buffer
+	v0.Write(binaryMagic[:])
+	binary.Write(&v0, binary.LittleEndian, [2]int64{int64(g.NumNodes()), g.NumEdges()})
+	binary.Write(&v0, binary.LittleEndian, g.OutIndex())
+	binary.Write(&v0, binary.LittleEndian, g.OutAdjacency())
+	h, err := ReadBinaryBytes(v0.Bytes())
+	if err != nil {
+		t.Fatalf("v0 file rejected: %v", err)
+	}
+	if !g.Equal(h) {
+		t.Error("v0 load changed the graph")
 	}
 }
 

@@ -17,6 +17,8 @@ package registry
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
@@ -62,6 +64,64 @@ func (o Options) gorder() core.Options {
 	return core.Options{Window: o.Window, HubThreshold: o.HubThreshold}
 }
 
+// OptionField names one Options field in an Ordering's Consumes list.
+type OptionField string
+
+// The Options fields a method can consume.
+const (
+	OptWindow  OptionField = "window"
+	OptHub     OptionField = "hub"
+	OptSeed    OptionField = "seed"
+	OptLDGBins OptionField = "ldg_bins"
+)
+
+// CanonicalOptions normalizes o for the named ordering: fields the
+// method does not consume are zeroed, and consumed fields left at
+// their zero value are replaced by the documented default. Every
+// spelling of the same effective parameters therefore maps to one
+// Options value — the property artifact caches key on.
+func CanonicalOptions(name string, o Options) (Options, error) {
+	desc, ok := Lookup(name)
+	if !ok {
+		return Options{}, fmt.Errorf("unknown ordering %q (known: %s)",
+			name, strings.Join(MethodNames(), " "))
+	}
+	var c Options
+	for _, f := range desc.Consumes {
+		switch f {
+		case OptWindow:
+			c.Window = o.Window
+			if c.Window <= 0 {
+				c.Window = core.DefaultWindow
+			}
+		case OptHub:
+			c.HubThreshold = o.HubThreshold
+		case OptSeed:
+			c.Seed = o.Seed
+		case OptLDGBins:
+			c.LDGBins = o.ldgBins()
+		}
+	}
+	return c, nil
+}
+
+// OptionsKey returns the canonical options plus a short stable digest
+// of (canonical method, canonical options) — the cache key suffix
+// internal/store names ordering artifacts with. Two requests share a
+// key exactly when the registry would compute the same permutation
+// for them (modulo stochastic methods, whose seed is part of the key).
+func OptionsKey(name string, o Options) (Options, string, error) {
+	c, err := CanonicalOptions(name, o)
+	if err != nil {
+		return Options{}, "", err
+	}
+	desc, _ := Lookup(name)
+	enc := fmt.Sprintf("%s|w=%d|h=%d|s=%d|b=%d",
+		strings.ToLower(desc.Name), c.Window, c.HubThreshold, c.Seed, c.LDGBins)
+	sum := sha256.Sum256([]byte(enc))
+	return c, hex.EncodeToString(sum[:4]), nil
+}
+
 // CostClass is the coarse cost label of an ordering, so callers can
 // pick deadlines (and users can pick methods) without benchmarking.
 type CostClass string
@@ -98,6 +158,11 @@ type Ordering struct {
 	Cancellable bool
 	// Cost is the coarse cost class.
 	Cost CostClass
+	// Consumes lists the Options fields the method actually reads.
+	// CanonicalOptions zeroes everything else, so artifact caches do
+	// not split on parameters the method ignores. Stochastic methods
+	// must list OptSeed (the catalog test enforces this).
+	Consumes []OptionField
 	// Compute runs the method. Use the package-level Compute /
 	// ComputeObserved to get instrumentation and name resolution.
 	Compute ComputeFunc
@@ -133,12 +198,14 @@ var orderings = []Ordering{
 	},
 	{
 		Name: GorderName, Cancellable: true, Cost: CostExpensive,
+		Consumes: []OptionField{OptWindow, OptHub},
 		Compute: func(ctx context.Context, g *graph.Graph, opt Options) (order.Permutation, error) {
 			return core.OrderWithCtx(ctx, g, opt.gorder())
 		},
 	},
 	{
 		Name: "Gorder-Parallel", Cancellable: true, Cost: CostExpensive,
+		Consumes: []OptionField{OptWindow, OptHub},
 		Compute: func(ctx context.Context, g *graph.Graph, opt Options) (order.Permutation, error) {
 			return core.OrderParallelCtx(ctx, g, opt.gorder(), 0)
 		},
@@ -156,25 +223,28 @@ var orderings = []Ordering{
 		}),
 	},
 	{
-		Name: "LDG", Cost: CostModerate,
+		Name: "LDG", Cost: CostModerate, Consumes: []OptionField{OptLDGBins},
 		Compute: startChecked(func(g *graph.Graph, opt Options) order.Permutation {
 			return order.LDG(g, opt.ldgBins())
 		}),
 	},
 	{
 		Name: "MinLA", Stochastic: true, Cancellable: true, Cost: CostExpensive,
+		Consumes: []OptionField{OptSeed},
 		Compute: func(ctx context.Context, g *graph.Graph, opt Options) (order.Permutation, error) {
 			return order.MinLACtx(ctx, g, order.AnnealOptions{Seed: opt.Seed})
 		},
 	},
 	{
 		Name: "MinLogA", Stochastic: true, Cancellable: true, Cost: CostExpensive,
+		Consumes: []OptionField{OptSeed},
 		Compute: func(ctx context.Context, g *graph.Graph, opt Options) (order.Permutation, error) {
 			return order.MinLogACtx(ctx, g, order.AnnealOptions{Seed: opt.Seed})
 		},
 	},
 	{
 		Name: "Multilevel", Cancellable: true, Cost: CostModerate,
+		Consumes: []OptionField{OptWindow, OptHub},
 		Compute: func(ctx context.Context, g *graph.Graph, opt Options) (order.Permutation, error) {
 			var coarseErr error
 			p := order.Multilevel(g, order.MultilevelOptions{
@@ -200,7 +270,7 @@ var orderings = []Ordering{
 		}),
 	},
 	{
-		Name: "Random", Stochastic: true, Cost: CostTrivial,
+		Name: "Random", Stochastic: true, Cost: CostTrivial, Consumes: []OptionField{OptSeed},
 		Compute: startChecked(func(g *graph.Graph, opt Options) order.Permutation {
 			return order.Random(g.NumNodes(), opt.Seed)
 		}),

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"gorder/internal/core"
 	"gorder/internal/gen"
 	"gorder/internal/graph"
 	"gorder/internal/order"
@@ -195,5 +196,84 @@ func TestLookupKernel(t *testing.T) {
 	}
 	if _, ok := LookupKernel("nope"); ok {
 		t.Error("bogus kernel found")
+	}
+}
+
+// TestCanonicalOptions pins the normalization the artifact cache keys
+// on: unconsumed fields zeroed, consumed zero-values defaulted.
+func TestCanonicalOptions(t *testing.T) {
+	// Gorder ignores seed and LDG bins; window 0 means the default.
+	c, err := CanonicalOptions("gorder", Options{Seed: 99, LDGBins: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != (Options{Window: core.DefaultWindow}) {
+		t.Errorf("gorder canonical = %+v", c)
+	}
+	// RCM consumes nothing: every spelling collapses to the zero Options.
+	c, err = CanonicalOptions("RCM", Options{Window: 9, Seed: 5, LDGBins: 3, HubThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != (Options{}) {
+		t.Errorf("rcm canonical = %+v, want zero", c)
+	}
+	// LDG defaults its bin count.
+	c, err = CanonicalOptions("ldg", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.LDGBins != DefaultLDGBins {
+		t.Errorf("ldg canonical bins = %d, want %d", c.LDGBins, DefaultLDGBins)
+	}
+	if _, err := CanonicalOptions("nope", Options{}); err == nil {
+		t.Error("unknown ordering canonicalised without error")
+	}
+}
+
+// TestOptionsKey checks the cache-key digest: stable across
+// equivalent spellings, distinct across effective parameter changes,
+// and sensitive to the seed only for stochastic methods.
+func TestOptionsKey(t *testing.T) {
+	key := func(name string, o Options) string {
+		t.Helper()
+		_, k, err := OptionsKey(name, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	if key("gorder", Options{}) != key("GORDER", Options{Window: core.DefaultWindow, Seed: 42}) {
+		t.Error("equivalent gorder spellings got different keys")
+	}
+	if key("gorder", Options{Window: 3}) == key("gorder", Options{Window: 4}) {
+		t.Error("different windows share a key")
+	}
+	if key("gorder", Options{}) == key("rcm", Options{}) {
+		t.Error("different methods share a key")
+	}
+	if key("random", Options{Seed: 1}) == key("random", Options{Seed: 2}) {
+		t.Error("stochastic method ignores the seed in its key")
+	}
+	if key("minla", Options{Seed: 1}) == key("random", Options{Seed: 1}) {
+		t.Error("minla and random share a key")
+	}
+}
+
+// TestStochasticConsumesSeed enforces the catalog invariant
+// CanonicalOptions depends on: a stochastic method must declare
+// OptSeed (else its cache key would collide across seeds), and a
+// deterministic one must not (else identical runs would miss).
+func TestStochasticConsumesSeed(t *testing.T) {
+	for _, o := range Orderings() {
+		consumesSeed := false
+		for _, f := range o.Consumes {
+			if f == OptSeed {
+				consumesSeed = true
+			}
+		}
+		if o.Stochastic != consumesSeed {
+			t.Errorf("%s: stochastic=%v but consumes-seed=%v", o.Name, o.Stochastic, consumesSeed)
+		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"gorder/internal/order"
+	"gorder/internal/store"
 )
 
 // Job states. A job moves queued → running → one of the terminal
@@ -358,8 +359,9 @@ type manifest struct {
 }
 
 // WriteManifest persists the given queued-job requests to path,
-// atomically (write temp + rename). An empty list removes any stale
-// manifest instead.
+// atomically (temp file + fsync + rename via store.WriteFileAtomic,
+// so a crash mid-write never leaves a torn manifest). An empty list
+// removes any stale manifest instead.
 func WriteManifest(path string, reqs []JobRequest) error {
 	if len(reqs) == 0 {
 		err := os.Remove(path)
@@ -372,11 +374,10 @@ func WriteManifest(path string, reqs []JobRequest) error {
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	return store.WriteFileAtomic(path, 0o644, func(w io.Writer) error {
+		_, err := w.Write(data)
 		return err
-	}
-	return os.Rename(tmp, path)
+	})
 }
 
 // ReadManifest loads a manifest written by WriteManifest. A missing

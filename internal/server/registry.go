@@ -3,6 +3,7 @@ package server
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -13,6 +14,7 @@ import (
 
 	"gorder/internal/cli"
 	"gorder/internal/graph"
+	"gorder/internal/store"
 )
 
 // GraphInfo is the public description of a registered graph.
@@ -23,15 +25,25 @@ type GraphInfo struct {
 	Edges int64     `json:"edges"`
 	Bytes int64     `json:"bytes"` // size of the source file/upload
 	Added time.Time `json:"added"`
+	// Resident reports whether the graph is currently held in memory;
+	// OnDisk whether a persistent blob backs it. A store-less registry
+	// reports resident and not on disk for everything.
+	Resident bool `json:"resident"`
+	OnDisk   bool `json:"on_disk"`
 }
 
 // Registry holds the named graphs the daemon can run jobs against.
 // Graphs are deduplicated by content hash: uploading the same bytes
 // twice (under any name) yields the same ID and stores one copy.
+//
+// With a store attached the registry keeps only the catalog metadata;
+// the graphs themselves live in the store's residency cache (LRU
+// under a byte budget) with their blobs on disk, and survive restarts.
 type Registry struct {
 	mu     sync.RWMutex
 	byID   map[string]*regEntry
 	byName map[string]string // latest name -> id
+	store  *store.Store      // nil: graphs pinned in memory below
 	graphs *Counter          // registered graph count (metric)
 	bytes  *Counter          // cumulative accepted upload bytes (metric)
 
@@ -42,7 +54,7 @@ type Registry struct {
 
 type regEntry struct {
 	info GraphInfo
-	g    *graph.Graph
+	g    *graph.Graph // nil when a store holds the graph
 }
 
 // NewRegistry returns an empty registry wired to m's metrics.
@@ -55,6 +67,31 @@ func NewRegistry(m *Metrics) *Registry {
 		ingests:      m.Counter("ingest_total"),
 		ingestMillis: m.Counter("ingest_ms_total"),
 		ingestEdges:  m.Counter("ingest_edges_total"),
+	}
+}
+
+// AttachStore backs the registry with st: graphs already in the store
+// are registered (metadata only — they become resident on first use)
+// and future Adds persist through it. Call before serving traffic.
+func (r *Registry) AttachStore(st *store.Store) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.store = st
+	for _, meta := range st.Catalog() {
+		r.byID[meta.Digest] = &regEntry{info: GraphInfo{
+			ID:    meta.Digest,
+			Name:  meta.Name,
+			Nodes: meta.Nodes,
+			Edges: meta.Edges,
+			Bytes: meta.SrcBytes,
+			Added: meta.Added,
+		}}
+		r.graphs.Inc()
+	}
+	for name, digest := range st.Names() {
+		if _, ok := r.byID[digest]; ok {
+			r.byName[name] = digest
+		}
 	}
 }
 
@@ -81,7 +118,12 @@ func (r *Registry) Add(name string, data []byte) (GraphInfo, bool, error) {
 	defer r.mu.Unlock()
 	if e, ok := r.byID[id]; ok {
 		r.byName[name] = id
-		return e.info, false, nil
+		if r.store != nil {
+			if err := r.store.SetName(name, id); err != nil {
+				return GraphInfo{}, false, fmt.Errorf("recording alias %q: %w", name, err)
+			}
+		}
+		return r.annotateLocked(e.info), false, nil
 	}
 	start := time.Now()
 	g, err := cli.ReadGraphBytes(data)
@@ -99,11 +141,32 @@ func (r *Registry) Add(name string, data []byte) (GraphInfo, bool, error) {
 		Bytes: int64(len(data)),
 		Added: time.Now().UTC(),
 	}
-	r.byID[id] = &regEntry{info: info, g: g}
+	e := &regEntry{info: info}
+	if r.store != nil {
+		// Persist before registering: an upload either lands durably or
+		// fails visibly, never registers RAM-only by accident.
+		if err := r.store.PutGraph(id, name, g, int64(len(data))); err != nil {
+			return GraphInfo{}, false, err
+		}
+	} else {
+		e.g = g
+	}
+	r.byID[id] = e
 	r.byName[name] = id
 	r.graphs.Inc()
 	r.bytes.Add(int64(len(data)))
-	return info, true, nil
+	return r.annotateLocked(info), true, nil
+}
+
+// annotateLocked fills the dynamic residency fields of an info
+// snapshot.
+func (r *Registry) annotateLocked(info GraphInfo) GraphInfo {
+	if r.store == nil {
+		info.Resident, info.OnDisk = true, false
+	} else {
+		info.Resident, info.OnDisk = r.store.Resident(info.ID), true
+	}
+	return info
 }
 
 // graphFileExts are the dataset filename extensions LoadDir accepts.
@@ -137,20 +200,69 @@ func (r *Registry) LoadDir(dir string) (int, error) {
 	return loaded, nil
 }
 
-// Get resolves a graph by ID or, failing that, by name.
-func (r *Registry) Get(ref string) (*graph.Graph, GraphInfo, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+// resolveLocked maps an ID-or-name reference to its entry.
+func (r *Registry) resolveLocked(ref string) (*regEntry, bool) {
 	e, ok := r.byID[ref]
 	if !ok {
 		if id, named := r.byName[ref]; named {
 			e, ok = r.byID[id], true
 		}
 	}
+	return e, ok
+}
+
+// Stat resolves a graph's metadata by ID or, failing that, by name —
+// without loading an evicted graph back into memory. Use this for
+// validation and listing; Get for actually running against the graph.
+func (r *Registry) Stat(ref string) (GraphInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.resolveLocked(ref)
 	if !ok {
+		return GraphInfo{}, false
+	}
+	return r.annotateLocked(e.info), true
+}
+
+// Get resolves a graph by ID or, failing that, by name. With a store
+// attached this may reload an evicted graph from disk; a graph whose
+// blob turns out corrupt is deregistered (the store already dropped
+// the blob) and reported as absent, so the content can be re-uploaded.
+func (r *Registry) Get(ref string) (*graph.Graph, GraphInfo, bool) {
+	r.mu.RLock()
+	e, ok := r.resolveLocked(ref)
+	if !ok {
+		r.mu.RUnlock()
 		return nil, GraphInfo{}, false
 	}
-	return e.g, e.info, true
+	info := e.info
+	if r.store == nil {
+		g := e.g
+		r.mu.RUnlock()
+		return g, info, true
+	}
+	r.mu.RUnlock()
+
+	g, err := r.store.GetGraph(info.ID)
+	if err != nil {
+		if errors.Is(err, store.ErrCorrupt) || errors.Is(err, store.ErrUnknownGraph) {
+			r.drop(info.ID)
+		}
+		return nil, info, false
+	}
+	return g, info, true
+}
+
+// drop removes a graph the store can no longer serve.
+func (r *Registry) drop(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.byID, id)
+	for name, d := range r.byName {
+		if d == id {
+			delete(r.byName, name)
+		}
+	}
 }
 
 // List returns every registered graph, sorted by name then ID.
@@ -159,7 +271,7 @@ func (r *Registry) List() []GraphInfo {
 	defer r.mu.RUnlock()
 	out := make([]GraphInfo, 0, len(r.byID))
 	for _, e := range r.byID {
-		out = append(out, e.info)
+		out = append(out, r.annotateLocked(e.info))
 	}
 	slices.SortFunc(out, func(a, b GraphInfo) int {
 		if c := strings.Compare(a.Name, b.Name); c != 0 {

@@ -15,14 +15,22 @@ import (
 	"gorder/internal/core"
 	"gorder/internal/order"
 	"gorder/internal/registry"
+	"gorder/internal/store"
 )
 
 // Config configures a Server. The zero value is usable: one worker, a
-// 64-deep queue, 5-minute default deadline, 32 MiB upload cap.
+// 64-deep queue, 5-minute default deadline, 32 MiB upload cap, no
+// persistence.
 type Config struct {
 	Pool      PoolConfig
 	MaxUpload int64 // bytes accepted on POST /graphs; <= 0 means 32 MiB
 	Logger    *slog.Logger
+	// Store, when set, persists graphs and ordering artifacts: the
+	// registry is backed by it (catalog restored on construction, LRU
+	// residency under its byte budget), ordering jobs consult the
+	// artifact cache before computing and persist results after, and
+	// the store_* metrics are exported.
+	Store *store.Store
 }
 
 // Server glues the registry, the pool, and the metrics into the HTTP
@@ -67,6 +75,16 @@ func New(cfg Config) *Server {
 		orderingRuns:     make(map[string]*Counter),
 		orderingMS:       make(map[string]*Counter),
 		orderingCanceled: make(map[string]*Counter),
+	}
+	if st := cfg.Store; st != nil {
+		s.Reg.AttachStore(st)
+		m.Func("store_hits_total", st.Hits)
+		m.Func("store_misses_total", st.Misses)
+		m.Func("store_evictions_total", st.Evictions)
+		m.Func("store_resident_bytes", st.ResidentBytes)
+		m.Func("store_graph_reloads_total", st.Reloads)
+		m.Func("store_graphs", st.GraphCount)
+		m.Func("store_orders", st.OrderCount)
 	}
 	// Pre-register one counter triple per catalog ordering so /metrics
 	// exposes every method from startup (zeros included) and the
@@ -247,7 +265,7 @@ func (s *Server) handleGraphByID(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, "not_found", "no such route %s", r.URL.Path)
 		return
 	}
-	_, info, ok := s.Reg.Get(ref)
+	info, ok := s.Reg.Stat(ref)
 	if !ok {
 		s.writeError(w, http.StatusNotFound, "graph_not_found", "no graph %q", ref)
 		return
@@ -322,7 +340,9 @@ func (s *Server) validateJob(req *JobRequest) (code, msg string) {
 	if req.Graph == "" {
 		return "missing_graph", "job requires a graph ID or name"
 	}
-	if _, _, ok := s.Reg.Get(req.Graph); !ok {
+	// Stat, not Get: validation must not pull an evicted graph back
+	// into memory just to check it exists.
+	if _, ok := s.Reg.Stat(req.Graph); !ok {
 		return "graph_not_found", fmt.Sprintf("no graph %q registered", req.Graph)
 	}
 	if req.TimeoutMs < 0 {
@@ -391,10 +411,10 @@ func (s *Server) observeOrdering(obs registry.Observation) {
 // ordering or evaluation with the job's context, and returns the
 // metrics that end up in the job status.
 func (s *Server) execute(ctx context.Context, req JobRequest, found func(order.Permutation)) (map[string]float64, error) {
-	g, _, ok := s.Reg.Get(req.Graph)
+	g, info, ok := s.Reg.Get(req.Graph)
 	if !ok {
-		// The graph was known at submit time; registry entries are never
-		// removed today, but keep the check for when eviction lands.
+		// The graph was known at submit time but may since have been
+		// deregistered (a store-backed graph whose blob went corrupt).
 		return nil, fmt.Errorf("graph %q is no longer registered", req.Graph)
 	}
 	w := req.Window
@@ -403,14 +423,43 @@ func (s *Server) execute(ctx context.Context, req JobRequest, found func(order.P
 	}
 	switch req.Kind {
 	case KindOrder:
-		perm, obs, err := registry.ComputeObserved(ctx, g, req.Method, registry.Options{
+		opts := registry.Options{
 			Window: req.Window, HubThreshold: req.Hub, Seed: req.Seed, LDGBins: req.LDGBins,
-		})
+		}
+		// The artifact cache keys on graph digest + canonical method +
+		// canonicalized options, so every spelling of the same job maps
+		// to one artifact. A hit skips the ordering computation entirely
+		// — the amortization the store exists for.
+		var method, optKey string
+		if st := s.cfg.Store; st != nil {
+			if desc, ok := registry.Lookup(req.Method); ok {
+				if _, key, err := registry.OptionsKey(req.Method, opts); err == nil {
+					method, optKey = strings.ToLower(desc.Name), key
+				}
+			}
+			if optKey != "" {
+				if perm, ok := st.GetOrder(info.ID, method, optKey, g.NumNodes()); ok {
+					found(perm)
+					return map[string]float64{
+						"score_F":   float64(order.Score(g, perm, w)),
+						"bandwidth": float64(order.Bandwidth(g, perm)),
+						"cache_hit": 1,
+					}, nil
+				}
+			}
+		}
+		perm, obs, err := registry.ComputeObserved(ctx, g, req.Method, opts)
 		s.observeOrdering(obs)
 		if err != nil {
 			return nil, err
 		}
 		found(perm)
+		if optKey != "" {
+			if err := s.cfg.Store.PutOrder(info.ID, method, optKey, perm); err != nil {
+				s.log.Warn("persisting ordering artifact failed", "graph", info.ID,
+					"method", method, "err", err)
+			}
+		}
 		return map[string]float64{
 			"score_F":   float64(order.Score(g, perm, w)),
 			"bandwidth": float64(order.Bandwidth(g, perm)),

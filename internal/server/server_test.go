@@ -15,6 +15,7 @@ import (
 	"gorder/internal/gen"
 	"gorder/internal/graph"
 	"gorder/internal/order"
+	"gorder/internal/store"
 )
 
 // newTestServer builds a started server + httptest frontend.
@@ -539,4 +540,161 @@ func TestConcurrentSubmitAndPoll(t *testing.T) {
 	if got := s.Metrics.Snapshot()["jobs_completed"]; got != clients*5 {
 		t.Fatalf("jobs_completed = %d, want %d", got, clients*5)
 	}
+}
+
+// newStoreServer builds a store-backed test server over dir.
+func newStoreServer(t *testing.T, dir string, budget int64) (*Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(store.Config{Dir: dir, MemBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{
+		Pool:  PoolConfig{Workers: 2, QueueDepth: 8},
+		Store: st,
+	})
+	t.Cleanup(func() { st.Close() })
+	return s, ts
+}
+
+func metricsSnapshot(t *testing.T, ts *httptest.Server) map[string]int64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return decodeJSON[map[string]int64](t, resp.Body)
+}
+
+// TestStoreBackedServerArtifactCache is the amortization flow: the
+// first order job computes and persists, the identical second job is
+// answered from the artifact store without running the ordering.
+func TestStoreBackedServerArtifactCache(t *testing.T) {
+	s, ts := newStoreServer(t, t.TempDir(), 0)
+	postGraph(t, ts, "ba", edgeListBytes(t, gen.BarabasiAlbert(400, 4, 9)))
+
+	req := JobRequest{Kind: KindOrder, Graph: "ba", Method: "gorder", Window: 5}
+	st1 := waitJob(t, ts, postJob(t, ts, req).ID)
+	if st1.State != StateDone {
+		t.Fatalf("first job ended %s (%s)", st1.State, st1.Error)
+	}
+	if st1.Metrics["cache_hit"] != 0 {
+		t.Fatal("first job reported a cache hit on an empty store")
+	}
+	snap := metricsSnapshot(t, ts)
+	if snap["store_misses_total"] < 1 || snap["store_orders"] != 1 {
+		t.Fatalf("after cold job: misses=%d orders=%d", snap["store_misses_total"], snap["store_orders"])
+	}
+	runsBefore := snap["ordering_runs_gorder"]
+	if runsBefore != 1 {
+		t.Fatalf("ordering_runs_gorder = %d after one job", runsBefore)
+	}
+
+	// An alias spelling with defaulted options maps to the same artifact.
+	st2 := waitJob(t, ts, postJob(t, ts, JobRequest{Kind: KindOrder, Graph: "ba", Method: "Gorder"}).ID)
+	if st2.State != StateDone {
+		t.Fatalf("second job ended %s (%s)", st2.State, st2.Error)
+	}
+	if st2.Metrics["cache_hit"] != 1 {
+		t.Fatalf("repeat job metrics = %v, want cache_hit", st2.Metrics)
+	}
+	if st2.Metrics["score_F"] != st1.Metrics["score_F"] {
+		t.Fatalf("cached score_F %v != computed %v", st2.Metrics["score_F"], st1.Metrics["score_F"])
+	}
+	snap = metricsSnapshot(t, ts)
+	if snap["store_hits_total"] < 1 {
+		t.Fatalf("store_hits_total = %d after repeat job", snap["store_hits_total"])
+	}
+	if snap["ordering_runs_gorder"] != runsBefore {
+		t.Fatalf("repeat job recomputed: runs %d -> %d", runsBefore, snap["ordering_runs_gorder"])
+	}
+	// Both permutations download identically.
+	for _, id := range []string{st1.ID, st2.ID} {
+		resp, err := http.Get(ts.URL + "/jobs/" + id + "/permutation")
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("permutation of %s: %v status %d", id, err, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	_ = s
+}
+
+// TestStoreBackedServerRestart rebuilds the server over the same data
+// directory and expects the full catalog and artifact cache back.
+func TestStoreBackedServerRestart(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.BarabasiAlbert(300, 3, 5)
+
+	_, ts := newStoreServer(t, dir, 0)
+	info := postGraph(t, ts, "ba", edgeListBytes(t, g))
+	st := waitJob(t, ts, postJob(t, ts, JobRequest{Kind: KindOrder, Graph: "ba", Method: "rcm"}).ID)
+	if st.State != StateDone {
+		t.Fatalf("job ended %s (%s)", st.State, st.Error)
+	}
+	ts.Close()
+
+	_, ts2 := newStoreServer(t, dir, 0)
+	resp, err := http.Get(ts2.URL + "/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := decodeJSON[map[string][]GraphInfo](t, resp.Body)["graphs"]
+	resp.Body.Close()
+	if len(graphs) != 1 || graphs[0].ID != info.ID || graphs[0].Name != "ba" {
+		t.Fatalf("restarted catalog = %+v", graphs)
+	}
+	if graphs[0].Resident || !graphs[0].OnDisk {
+		t.Fatalf("restarted graph resident=%v on_disk=%v, want false/true",
+			graphs[0].Resident, graphs[0].OnDisk)
+	}
+
+	// The repeat job is a pure artifact hit — no ordering run at all.
+	st2 := waitJob(t, ts2, postJob(t, ts2, JobRequest{Kind: KindOrder, Graph: info.ID, Method: "rcm"}).ID)
+	if st2.State != StateDone || st2.Metrics["cache_hit"] != 1 {
+		t.Fatalf("restarted repeat job: state=%s metrics=%v", st2.State, st2.Metrics)
+	}
+	snap := metricsSnapshot(t, ts2)
+	if snap["ordering_runs_rcm"] != 0 {
+		t.Fatalf("restarted daemon recomputed: ordering_runs_rcm = %d", snap["ordering_runs_rcm"])
+	}
+	if snap["store_hits_total"] != 1 {
+		t.Fatalf("store_hits_total = %d", snap["store_hits_total"])
+	}
+	// Serving the job pulled the graph resident.
+	resp, err = http.Get(ts2.URL + "/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs = decodeJSON[map[string][]GraphInfo](t, resp.Body)["graphs"]
+	resp.Body.Close()
+	if !graphs[0].Resident {
+		t.Error("graph not resident after serving a job")
+	}
+}
+
+// TestStoreBackedServerEviction keeps the daemon under a byte budget:
+// uploading past it evicts, yet every graph stays servable.
+func TestStoreBackedServerEviction(t *testing.T) {
+	budget := gen.Ring(256).MemoryBytes() * 2
+	s, ts := newStoreServer(t, t.TempDir(), budget)
+	for i := 0; i < 3; i++ {
+		postGraph(t, ts, fmt.Sprintf("ring%d", i), edgeListBytes(t, gen.Ring(256-i)))
+	}
+	snap := metricsSnapshot(t, ts)
+	if snap["store_evictions_total"] < 1 {
+		t.Fatalf("no evictions under budget %d: %v", budget, snap)
+	}
+	if snap["store_resident_bytes"] > budget {
+		t.Fatalf("resident bytes %d exceed budget %d", snap["store_resident_bytes"], budget)
+	}
+	for i := 0; i < 3; i++ {
+		st := waitJob(t, ts, postJob(t, ts, JobRequest{
+			Kind: KindOrder, Graph: fmt.Sprintf("ring%d", i), Method: "rcm",
+		}).ID)
+		if st.State != StateDone {
+			t.Fatalf("job on ring%d ended %s (%s)", i, st.State, st.Error)
+		}
+	}
+	_ = s
 }

@@ -15,6 +15,16 @@ if grep -rn --include='*.go' -e 'switch strings\.ToLower' -e 'case Kernel[A-Z]' 
     exit 1
 fi
 
+echo "==> store encapsulation gate (data-dir layout private to internal/store)"
+# Only internal/store may touch the on-disk layout (graphs/, orders/,
+# manifest.json). Anything else reaching into the data dir bypasses the
+# checksums, residency accounting, and crash-safe manifest updates.
+if grep -rn --include='*.go' -E 'filepath\.Join\([^)]*"(graphs|orders|manifest\.json)"' \
+    cmd internal examples ./*.go 2>/dev/null | grep -v '^internal/store/'; then
+    echo "FAIL: data-dir layout accessed outside internal/store" >&2
+    exit 1
+fi
+
 echo "==> go build ./..."
 go build ./...
 
@@ -27,6 +37,9 @@ go test -race ./...
 echo "==> GOMAXPROCS=1 go test (serial ingest fallback + registry parity)"
 GOMAXPROCS=1 go test ./internal/graph/ ./internal/cli/ ./internal/server/ ./internal/registry/
 GOMAXPROCS=1 go test -run 'TestParity' .
+
+echo "==> store cold/warm smoke (artifact persisted, then served across reopen)"
+go test -race ./internal/store/ -run 'TestStoreColdWarm' -count=1
 
 echo "==> ingest benchmark smoke (-benchtime=1x)"
 go test ./internal/graph/ -run='^$' -bench=. -benchtime=1x
