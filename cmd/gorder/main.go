@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -24,46 +26,80 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gorder:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		in      = flag.String("i", "", "input graph (binary or text; - for stdin text)")
-		method  = flag.String("method", "gorder", "ordering method: "+strings.Join(cli.MethodNames(), "|"))
-		w       = flag.Int("w", gorder.DefaultWindow, "gorder window size")
-		hub     = flag.Int("hub", 0, "gorder hub-skip threshold (0 = exact)")
-		seed    = flag.Uint64("seed", 1, "seed for stochastic methods")
-		ldgBins = flag.Int("ldg-bins", 0, "LDG bin count (0 = default 64)")
-		out     = flag.String("o", "", "write relabeled graph here (binary)")
-		permOut = flag.String("perm-out", "", "write the permutation here (one new id per line)")
-		permIn  = flag.String("apply", "", "apply a saved permutation file instead of computing one")
-		eval    = flag.Bool("eval", false, "print ordering quality metrics")
-		list    = flag.Bool("list", false, "list the ordering catalog and exit")
+		in         = flag.String("i", "", "input graph (binary or text; - for stdin text)")
+		method     = flag.String("method", "gorder", "ordering method: "+strings.Join(cli.MethodNames(), "|"))
+		w          = flag.Int("w", gorder.DefaultWindow, "gorder window size")
+		hub        = flag.Int("hub", 0, "gorder hub-skip threshold (0 = exact)")
+		seed       = flag.Uint64("seed", 1, "seed for stochastic methods")
+		ldgBins    = flag.Int("ldg-bins", 0, "LDG bin count (0 = default 64)")
+		out        = flag.String("o", "", "write relabeled graph here (binary)")
+		permOut    = flag.String("perm-out", "", "write the permutation here (one new id per line)")
+		permIn     = flag.String("apply", "", "apply a saved permutation file instead of computing one")
+		eval       = flag.Bool("eval", false, "print ordering quality metrics")
+		list       = flag.Bool("list", false, "list the ordering catalog and exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile here (pprof format)")
+		memProfile = flag.String("memprofile", "", "write a heap profile here at exit (pprof format)")
 	)
 	flag.Parse()
 	if *list {
 		listMethods()
-		return
+		return nil
 	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "gorder: -i is required")
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gorder:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "gorder: memprofile:", err)
+			}
+		}()
+	}
 	g, err := cli.ReadGraph(*in)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	var perm gorder.Permutation
 	if *permIn != "" {
 		f, err := os.Open(*permIn)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		perm, err = gorder.ReadPermutation(f)
 		f.Close()
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if len(perm) != g.NumNodes() {
-			fail(fmt.Errorf("permutation covers %d vertices, graph has %d", len(perm), g.NumNodes()))
+			return fmt.Errorf("permutation covers %d vertices, graph has %d", len(perm), g.NumNodes())
 		}
 	} else {
 		start := time.Now()
@@ -72,7 +108,7 @@ func main() {
 			Method: *method, Window: *w, Hub: *hub, Seed: *seed, LDGBins: *ldgBins,
 		})
 		if err != nil {
-			fail(err)
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "computed %s ordering of %d vertices in %s\n",
 			*method, g.NumNodes(), time.Since(start))
@@ -93,7 +129,7 @@ func main() {
 			return err
 		})
 		if err != nil {
-			fail(err)
+			return err
 		}
 	}
 	if *out != "" {
@@ -102,9 +138,10 @@ func main() {
 			return relabeled.WriteBinary(w)
 		})
 		if err != nil {
-			fail(err)
+			return err
 		}
 	}
+	return nil
 }
 
 // listMethods prints the registry's ordering catalog with capability
@@ -122,9 +159,4 @@ func listMethods() {
 		fmt.Printf("%-16s %-10s %-12s %-9s %s\n", strings.ToLower(o.Name),
 			string(o.Cost), cancellable, seeded, strings.Join(o.Aliases, ","))
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "gorder:", err)
-	os.Exit(1)
 }

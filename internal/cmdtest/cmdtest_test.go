@@ -175,6 +175,33 @@ func TestBenchListAndSmallExperiment(t *testing.T) {
 	runExpectError(t, "bench", "-exp", "no-such-exp")
 }
 
+// TestGorderProfiles: -cpuprofile and -memprofile write non-empty
+// pprof files even though the command exits through its normal output
+// path (the profile defers must flush before exit).
+func TestGorderProfiles(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.bin")
+	run(t, "graphgen", "-type", "web", "-n", "3000", "-seed", "5", "-o", graphPath)
+
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	permPath := filepath.Join(dir, "g.perm")
+	run(t, "gorder", "-i", graphPath, "-method", "gorder", "-w", "5",
+		"-cpuprofile", cpu, "-memprofile", mem, "-perm-out", permPath)
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	if fi, err := os.Stat(permPath); err != nil || fi.Size() == 0 {
+		t.Error("profiled run did not still write the permutation")
+	}
+}
+
 func TestGorderRejectsBadInputs(t *testing.T) {
 	runExpectError(t, "gorder", "-i", "/does/not/exist")
 	dir := t.TempDir()

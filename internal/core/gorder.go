@@ -27,12 +27,16 @@ type Options struct {
 	// UseLazyHeap replaces the unit heap with a lazy binary heap; the
 	// result is the same ordering (identical keys and tie-breaking is
 	// near-identical), but updates cost O(log n). Exposed for the
-	// ablation benchmark.
+	// ablation benchmark; this path runs the generic per-bump loop
+	// rather than the batched unit-heap specialisation.
 	UseLazyHeap bool
 }
 
-// maxQueue is the priority-queue contract the greedy loop needs; both
-// UnitHeap and lazyHeap satisfy it.
+// maxQueue is the priority-queue contract the generic greedy loop
+// needs; both UnitHeap and lazyHeap satisfy it. The production path
+// does not dispatch through it: the unit-heap loop is specialised on
+// *UnitHeap (batched deltas, no interface calls), and this interface
+// survives for the UseLazyHeap ablation and the queue tests.
 type maxQueue interface {
 	Len() int
 	Contains(item int) bool
@@ -77,73 +81,362 @@ func OrderWithCtx(ctx context.Context, g *graph.Graph, opt Options) (order.Permu
 	if w <= 0 {
 		w = DefaultWindow
 	}
-	var q maxQueue
+	var p order.Permutation
+	var heapOps, placements int64
+	var err error
 	if opt.UseLazyHeap {
-		q = newLazyHeap(n)
+		p, heapOps, placements, err = orderGeneric(ctx, g, w, opt.HubThreshold, newLazyHeap(n))
 	} else {
-		q = NewUnitHeap(n)
+		p, heapOps, placements, err = orderUnitHeap(ctx, g, w, opt.HubThreshold)
+	}
+	if st := orderStatsFrom(ctx); st != nil {
+		st.add(heapOps, placements)
+	}
+	return p, err
+}
+
+// startVertex returns the vertex with maximum in-degree (the most
+// shared data structure in the graph), lowest ID on ties, reading the
+// in-CSR offsets directly instead of issuing n InDegree calls.
+func startVertex(g *graph.Graph) int32 {
+	inIdx := g.InIndex()
+	start, best := int32(0), inIdx[1]-inIdx[0]
+	for v := 1; v < g.NumNodes(); v++ {
+		if d := inIdx[v+1] - inIdx[v]; d > best {
+			start, best = int32(v), d
+		}
+	}
+	return start
+}
+
+// orderUnitHeap is the production greedy loop, specialised on the
+// concrete *UnitHeap and batched: instead of issuing one heap splice
+// per ±1 score bump, each placement accumulates net deltas in scratch
+// arrays and relocates every touched candidate once.
+//
+// The batching preserves the per-bump loop's permutation bit for bit,
+// which takes care, because a UnitHeap breaks ties by list position
+// and every individual bump moves the item: an Inc appends the item to
+// the tail of the class above, a Dec prepends it to the head of the
+// class below. The final list is therefore determined by each touched
+// item's *last* bump: its final class, whether that last bump was an
+// Inc (append) or a Dec (prepend), and the order of those final bumps.
+// The loop reproduces exactly that: the accumulate pass counts
+// occurrences and net deltas in scratch arrays while recording the
+// bump sequence in a fixed-capacity log, and the apply pass replays
+// the sequence, relocating each item exactly at its last occurrence —
+// addTail for items whose bumps were all +1, addFront (even at net
+// delta zero, which still moves the item to its class head) for items
+// the -phase touched. A placement whose bump count overflows the log
+// (a hub placement can produce ~m bump events) falls back to
+// re-traversing its adjacency ranges in the same order, so the log
+// never grows and the loop performs no per-placement allocation.
+// TestOrderOptimizedMatchesReference holds the bit-for-bit equivalence
+// against the retained per-bump reference implementation.
+func orderUnitHeap(ctx context.Context, g *graph.Graph, w, hub int) (perm order.Permutation, heapOps, placements int64, err error) {
+	n := g.NumNodes()
+	s := &greedyState{
+		h:      NewUnitHeap(n),
+		outIdx: g.OutIndex(), outAdj: g.OutAdjacency(),
+		inIdx: g.InIndex(), inAdj: g.InAdjacency(),
+		hub:   int64(hub),
+		delta: make([]int32, n),
+		pc:    make([]int32, n),
+		mc:    make([]int32, n),
+		log:    make([]int32, 0, greedyLogCap),
+		logged: true,
 	}
 
 	seq := make([]graph.NodeID, 0, n)
-	// Start from the vertex with maximum in-degree (the most shared
-	// data structure in the graph), lowest ID on ties.
-	start := graph.NodeID(0)
-	for v := 1; v < n; v++ {
-		if g.InDegree(graph.NodeID(v)) > g.InDegree(start) {
-			start = graph.NodeID(v)
-		}
-	}
-	q.Delete(int(start))
-	seq = append(seq, start)
-
-	// apply adds (delta=+1) or removes (delta=-1) vertex v's score
-	// contributions to every candidate still in the queue:
-	//   - out-neighbours and in-neighbours of v gain Sn,
-	//   - out-neighbours of v's in-neighbours gain Ss (one shared
-	//     in-neighbour each).
-	apply := func(v graph.NodeID, delta int) {
-		bump := func(u graph.NodeID) {
-			if int(u) < n && q.Contains(int(u)) {
-				if delta > 0 {
-					q.Inc(int(u))
-				} else {
-					q.Dec(int(u))
-				}
-			}
-		}
-		for _, u := range g.OutNeighbors(v) {
-			bump(u)
-		}
-		for _, x := range g.InNeighbors(v) {
-			bump(x)
-			if opt.HubThreshold > 0 && g.OutDegree(x) > opt.HubThreshold {
-				continue
-			}
-			for _, u := range g.OutNeighbors(x) {
-				if u != v {
-					bump(u)
-				}
-			}
-		}
-	}
+	start := startVertex(g)
+	s.h.Delete(int(start))
+	s.heapOps++
+	seq = append(seq, graph.NodeID(start))
 
 	for i := 1; i < n; i++ {
 		if i%cancelCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return nil, s.heapOps, int64(len(seq)), err
 			}
 		}
-		apply(seq[i-1], +1)
+		v := seq[i-1]
+		plusEnd := s.accumulate(v, false)
+		minusEnd := plusEnd
+		hasMinus := i-1 >= w
+		var ov graph.NodeID
+		if hasMinus {
+			ov = seq[i-1-w]
+			minusEnd = s.accumulate(ov, true)
+		}
+		if s.logged {
+			s.applyPlusLog(s.log[:plusEnd])
+			s.applyMinusLog(s.log[plusEnd:minusEnd])
+		} else {
+			s.applyPlusRescan(v)
+			if hasMinus {
+				s.applyMinusRescan(ov)
+			}
+		}
+		s.log = s.log[:0]
+		s.logged = true
+
+		next, _, ok := s.h.ExtractMax()
+		s.heapOps++
+		if !ok {
+			break
+		}
+		seq = append(seq, graph.NodeID(next))
+	}
+	return order.FromSequence(seq), s.heapOps, int64(len(seq)), nil
+}
+
+// greedyLogCap bounds the per-placement bump log: one preallocated
+// buffer shared by the +phase and -phase, never grown. Typical
+// placements produce tens to hundreds of bumps; only hub placements
+// overflow into the rescan fallback.
+const greedyLogCap = 1 << 14
+
+// greedyState carries the batched greedy loop's scratch state so the
+// accumulate/apply passes stay readable without per-call closures.
+type greedyState struct {
+	h      *UnitHeap
+	outIdx []int64
+	outAdj []graph.NodeID
+	inIdx  []int64
+	inAdj  []graph.NodeID
+	hub    int64 // 0 = exact scores
+
+	// delta holds each touched item's net key change this placement;
+	// pc and mc hold its remaining +phase / -phase occurrence counts.
+	// The apply pass drives every touched entry back to zero, so the
+	// arrays never need a clearing pass.
+	delta []int32
+	pc    []int32
+	mc    []int32
+
+	// log records the bump sequence of the current placement while it
+	// fits; logged reports whether it is complete (capacity never
+	// overflowed this placement).
+	log    []int32
+	logged bool
+
+	heapOps int64
+}
+
+// accumulate walks v's score contributions in the reference traversal
+// order — out-neighbours, then each in-neighbour followed by its
+// non-hub sibling expansion — counting occurrences and net deltas for
+// every candidate still in the heap. Candidates already extracted are
+// skipped here once instead of per heap op: no extraction happens
+// between accumulation and apply, so membership cannot change. It
+// returns the log length after this phase.
+func (s *greedyState) accumulate(v graph.NodeID, minus bool) int {
+	inHeap := s.h.inHeap
+	cnt := s.pc
+	d := int32(1)
+	if minus {
+		cnt = s.mc
+		d = -1
+	}
+	for _, u := range s.outAdj[s.outIdx[v]:s.outIdx[v+1]] {
+		if inHeap[u] {
+			cnt[u]++
+			s.delta[u] += d
+			s.logBump(int32(u))
+		}
+	}
+	for _, x := range s.inAdj[s.inIdx[v]:s.inIdx[v+1]] {
+		if inHeap[x] {
+			cnt[x]++
+			s.delta[x] += d
+			s.logBump(int32(x))
+		}
+		if s.hub > 0 && s.outIdx[x+1]-s.outIdx[x] > s.hub {
+			continue
+		}
+		for _, u := range s.outAdj[s.outIdx[x]:s.outIdx[x+1]] {
+			if u != v && inHeap[u] {
+				cnt[u]++
+				s.delta[u] += d
+				s.logBump(int32(u))
+			}
+		}
+	}
+	return len(s.log)
+}
+
+func (s *greedyState) logBump(u int32) {
+	if len(s.log) < cap(s.log) {
+		s.log = append(s.log, u)
+	} else {
+		s.logged = false
+	}
+}
+
+// applyPlusLog relocates each all-plus item at its last logged
+// occurrence with a class-tail append, as a trailing Inc would have
+// left it. Items the -phase also touched relocate in the -phase apply
+// instead.
+func (s *greedyState) applyPlusLog(log []int32) {
+	for _, u := range log {
+		s.pc[u]--
+		if s.pc[u] == 0 && s.mc[u] == 0 {
+			s.h.addTail(u, s.delta[u])
+			s.heapOps++
+			s.delta[u] = 0
+		}
+	}
+}
+
+// applyMinusLog relocates every -phase-touched item at its last logged
+// occurrence with a class-head prepend, as a trailing Dec would have
+// left it — even at net delta zero, which still moves the item to its
+// class head.
+func (s *greedyState) applyMinusLog(log []int32) {
+	for _, u := range log {
+		s.mc[u]--
+		if s.mc[u] == 0 {
+			s.h.addFront(u, s.delta[u])
+			s.heapOps++
+			s.delta[u] = 0
+		}
+	}
+}
+
+// applyPlusRescan is applyPlusLog for placements whose bump sequence
+// overflowed the log: re-walking v's contributions in accumulate order
+// visits exactly the logged sequence.
+func (s *greedyState) applyPlusRescan(v graph.NodeID) {
+	inHeap := s.h.inHeap
+	for _, u := range s.outAdj[s.outIdx[v]:s.outIdx[v+1]] {
+		if inHeap[u] {
+			s.applyPlusOne(int32(u))
+		}
+	}
+	for _, x := range s.inAdj[s.inIdx[v]:s.inIdx[v+1]] {
+		if inHeap[x] {
+			s.applyPlusOne(int32(x))
+		}
+		if s.hub > 0 && s.outIdx[x+1]-s.outIdx[x] > s.hub {
+			continue
+		}
+		for _, u := range s.outAdj[s.outIdx[x]:s.outIdx[x+1]] {
+			if u != v && inHeap[u] {
+				s.applyPlusOne(int32(u))
+			}
+		}
+	}
+}
+
+func (s *greedyState) applyPlusOne(u int32) {
+	s.pc[u]--
+	if s.pc[u] == 0 && s.mc[u] == 0 {
+		s.h.addTail(u, s.delta[u])
+		s.heapOps++
+		s.delta[u] = 0
+	}
+}
+
+// applyMinusRescan is applyMinusLog's rescan fallback.
+func (s *greedyState) applyMinusRescan(ov graph.NodeID) {
+	inHeap := s.h.inHeap
+	for _, u := range s.outAdj[s.outIdx[ov]:s.outIdx[ov+1]] {
+		if inHeap[u] {
+			s.applyMinusOne(int32(u))
+		}
+	}
+	for _, x := range s.inAdj[s.inIdx[ov]:s.inIdx[ov+1]] {
+		if inHeap[x] {
+			s.applyMinusOne(int32(x))
+		}
+		if s.hub > 0 && s.outIdx[x+1]-s.outIdx[x] > s.hub {
+			continue
+		}
+		for _, u := range s.outAdj[s.outIdx[x]:s.outIdx[x+1]] {
+			if u != ov && inHeap[u] {
+				s.applyMinusOne(int32(u))
+			}
+		}
+	}
+}
+
+func (s *greedyState) applyMinusOne(u int32) {
+	s.mc[u]--
+	if s.mc[u] == 0 {
+		s.h.addFront(u, s.delta[u])
+		s.heapOps++
+		s.delta[u] = 0
+	}
+}
+
+// applyQueue adds (inc) or removes (!inc) vertex v's score
+// contributions to every candidate still in q, one queue operation per
+// ±1 bump:
+//   - out-neighbours and in-neighbours of v gain Sn,
+//   - out-neighbours of v's in-neighbours gain Ss (one shared
+//     in-neighbour each).
+//
+// It returns the number of queue operations performed. This is the
+// generic (interface-dispatched) update the UseLazyHeap ablation runs;
+// the unit-heap production path uses the batched loop above.
+func applyQueue(g *graph.Graph, q maxQueue, hub int, v graph.NodeID, inc bool) int64 {
+	var ops int64
+	bump := func(u graph.NodeID) {
+		if q.Contains(int(u)) {
+			if inc {
+				q.Inc(int(u))
+			} else {
+				q.Dec(int(u))
+			}
+			ops++
+		}
+	}
+	for _, u := range g.OutNeighbors(v) {
+		bump(u)
+	}
+	for _, x := range g.InNeighbors(v) {
+		bump(x)
+		if hub > 0 && g.OutDegree(x) > hub {
+			continue
+		}
+		for _, u := range g.OutNeighbors(x) {
+			if u != v {
+				bump(u)
+			}
+		}
+	}
+	return ops
+}
+
+// orderGeneric is the greedy loop over the maxQueue interface — the
+// seed algorithm's shape, kept for the UseLazyHeap ablation where the
+// queue cannot relocate an item across several classes in one splice.
+func orderGeneric(ctx context.Context, g *graph.Graph, w, hub int, q maxQueue) (perm order.Permutation, heapOps, placements int64, err error) {
+	n := g.NumNodes()
+	seq := make([]graph.NodeID, 0, n)
+	start := startVertex(g)
+	q.Delete(int(start))
+	heapOps++
+	seq = append(seq, graph.NodeID(start))
+
+	for i := 1; i < n; i++ {
+		if i%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, heapOps, int64(len(seq)), err
+			}
+		}
+		heapOps += applyQueue(g, q, hub, seq[i-1], true)
 		if i-1 >= w {
-			apply(seq[i-1-w], -1)
+			heapOps += applyQueue(g, q, hub, seq[i-1-w], false)
 		}
 		v, _, ok := q.ExtractMax()
+		heapOps++
 		if !ok {
 			break
 		}
 		seq = append(seq, graph.NodeID(v))
 	}
-	return order.FromSequence(seq), nil
+	return order.FromSequence(seq), heapOps, int64(len(seq)), nil
 }
 
 // WindowScore evaluates F(pi) for the given permutation and window —

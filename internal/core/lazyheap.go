@@ -48,6 +48,17 @@ func (h *lazyHeap) Inc(item int) {
 // filtered at pop time by comparing against the authoritative key.
 func (h *lazyHeap) Dec(item int) { h.key[item]-- }
 
+// Add moves item's key by delta in one step — the counterpart of
+// UnitHeap.Add, so the cross-implementation fuzz test can drive both
+// queues through identical op sequences. A raised key pushes one fresh
+// entry; a lowered key is corrected lazily at extraction time.
+func (h *lazyHeap) Add(item int, delta int32) {
+	h.key[item] += delta
+	if delta > 0 {
+		h.push(lazyEntry{h.key[item], int32(item)})
+	}
+}
+
 func (h *lazyHeap) Delete(item int) {
 	h.alive[item] = false
 	h.size--

@@ -1,0 +1,119 @@
+package core
+
+import "testing"
+
+// Add with a positive delta lands at the class tail (Inc-like), a
+// negative delta at the class head (Dec-like), and zero is a no-op that
+// must not move the item within its class.
+func TestUnitHeapAddDeltaSigns(t *testing.T) {
+	h := NewUnitHeap(4)
+	h.Add(2, 3)
+	if got := h.Key(2); got != 3 {
+		t.Fatalf("Key(2) = %d after Add(+3), want 3", got)
+	}
+	h.Add(1, 3)
+	// Both at key 3; item 2 was raised first, so it extracts first.
+	h.Add(2, 0)
+	if item, key, _ := h.ExtractMax(); item != 2 || key != 3 {
+		t.Fatalf("ExtractMax = (%d, %d), want (2, 3): Add(2, 0) must not relocate", item, key)
+	}
+	h.Add(1, -3)
+	if got := h.Key(1); got != 0 {
+		t.Fatalf("Key(1) = %d after Add(-3), want 0", got)
+	}
+	// Item 1 moved down to key class 0 as a Dec-run would: to its head,
+	// ahead of items 0 and 3 that have sat there since construction.
+	if item, key, _ := h.ExtractMax(); item != 1 || key != 0 {
+		t.Fatalf("ExtractMax = (%d, %d), want (1, 0): negative Add must prepend", item, key)
+	}
+}
+
+func TestUnitHeapAddPanics(t *testing.T) {
+	h := NewUnitHeap(2)
+	h.Delete(0)
+	for name, f := range map[string]func(){
+		"absent":   func() { h.Add(0, 1) },
+		"negative": func() { h.Add(1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add on %s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Large Add deltas must grow the dense class indices on demand, far
+// past the initial capacity, and keep extraction order correct across
+// the sparse key range.
+func TestUnitHeapKeyRangeGrowth(t *testing.T) {
+	h := NewUnitHeap(5)
+	h.Add(3, 1<<16)
+	h.Add(1, 1<<12)
+	h.Add(4, 1<<16) // joins item 3's class at the tail
+	h.Inc(2)
+	want := []struct {
+		item int
+		key  int32
+	}{{3, 1 << 16}, {4, 1 << 16}, {1, 1 << 12}, {2, 1}, {0, 0}}
+	for _, w := range want {
+		item, key, ok := h.ExtractMax()
+		if !ok || item != w.item || key != w.key {
+			t.Fatalf("ExtractMax = (%d, %d, %v), want (%d, %d, true)",
+				item, key, ok, w.item, w.key)
+		}
+	}
+}
+
+// Interleaving Delete with ExtractMax down to exhaustion must keep the
+// linked list and class indices consistent: sizes track, no dead item
+// resurfaces, and the heap reports empty exactly once both paths have
+// consumed everything.
+func TestUnitHeapDeleteExtractExhaustion(t *testing.T) {
+	const n = 33
+	h := NewUnitHeap(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i%5; j++ {
+			h.Inc(i)
+		}
+	}
+	seen := make([]bool, n)
+	alive := n
+	for i := 0; alive > 0; i++ {
+		if i%3 == 1 {
+			// Delete the lowest-numbered live item.
+			for v := 0; v < n; v++ {
+				if h.Contains(v) {
+					h.Delete(v)
+					seen[v] = true
+					alive--
+					break
+				}
+			}
+			continue
+		}
+		item, _, ok := h.ExtractMax()
+		if !ok {
+			t.Fatalf("ExtractMax empty with %d items live", alive)
+		}
+		if seen[item] {
+			t.Fatalf("item %d came out twice", item)
+		}
+		seen[item] = true
+		alive--
+		if h.Len() != alive {
+			t.Fatalf("Len = %d, want %d", h.Len(), alive)
+		}
+	}
+	if _, _, ok := h.ExtractMax(); ok {
+		t.Fatal("ExtractMax on exhausted heap returned ok")
+	}
+	for v := 0; v < n; v++ {
+		if !seen[v] {
+			t.Fatalf("item %d never came out", v)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzUnitHeapVsLazy drives the unit heap and the lazy binary heap
+// through the same operation sequence decoded from the fuzz input,
+// cross-checking them against each other and a plain map oracle.
+// Tie-breaking on extraction legitimately differs between the two
+// engines, so on an extract op both heaps pop independently, each
+// result is validated against the oracle (correct key, maximal), and
+// then the union of the popped items is removed from heaps and oracle
+// alike to keep the three membership sets identical.
+func FuzzUnitHeapVsLazy(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x83, 0xC1, 0x02, 0x55})
+	f.Add([]byte{0xFF, 0x00, 0xFF, 0x00, 0x80, 0x80, 0x80})
+	f.Add([]byte{0xC0, 0xC1, 0xC2, 0xC3, 0x01, 0x01, 0x41, 0x81})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 16
+		unit := NewUnitHeap(n)
+		lazy := newLazyHeap(n)
+		ref := make(map[int]int32, n)
+		for i := 0; i < n; i++ {
+			ref[i] = 0
+		}
+		check := func(item int, key int32, ok bool, name string) int {
+			if !ok {
+				if len(ref) != 0 {
+					t.Fatalf("%s: ExtractMax empty with %d items live", name, len(ref))
+				}
+				return -1
+			}
+			want, present := ref[item]
+			if !present {
+				t.Fatalf("%s: extracted dead item %d", name, item)
+			}
+			if want != key {
+				t.Fatalf("%s: extracted key %d, oracle has %d", name, key, want)
+			}
+			for _, k := range ref {
+				if k > key {
+					t.Fatalf("%s: extracted key %d but %d is live", name, key, k)
+				}
+			}
+			return item
+		}
+		for _, b := range data {
+			item := int(b) % n
+			_, live := ref[item]
+			switch b >> 6 {
+			case 0: // Inc
+				if live {
+					unit.Inc(item)
+					lazy.Inc(item)
+					ref[item]++
+				}
+			case 1: // Dec, only above zero as the greedy guarantees
+				if live && ref[item] > 0 {
+					unit.Dec(item)
+					lazy.Dec(item)
+					ref[item]--
+				}
+			case 2: // batched Add, clamped to keep the key non-negative
+				if live {
+					delta := int32(b>>3&7) - 3
+					if ref[item]+delta < 0 {
+						delta = -ref[item]
+					}
+					unit.Add(item, delta)
+					lazy.Add(item, delta)
+					ref[item] += delta
+				}
+			case 3: // ExtractMax on both, then reconcile membership
+				ui, uk, uok := unit.ExtractMax()
+				li, lk, lok := lazy.ExtractMax()
+				if uok != lok {
+					t.Fatalf("extract disagreement: unit ok=%v lazy ok=%v", uok, lok)
+				}
+				u := check(ui, uk, uok, "unit")
+				l := check(li, lk, lok, "lazy")
+				if u >= 0 {
+					delete(ref, u)
+					if l != u && lazy.Contains(u) {
+						lazy.Delete(u)
+					}
+				}
+				if l >= 0 && l != u {
+					delete(ref, l)
+					if unit.Contains(l) {
+						unit.Delete(l)
+					}
+				}
+			}
+			if unit.Len() != len(ref) || lazy.Len() != len(ref) {
+				t.Fatalf("size drift: unit=%d lazy=%d oracle=%d", unit.Len(), lazy.Len(), len(ref))
+			}
+			for it, k := range ref {
+				if !unit.Contains(it) || unit.Key(it) != k {
+					t.Fatalf("unit: item %d key %d, oracle %d", it, unit.Key(it), k)
+				}
+				if !lazy.Contains(it) || lazy.Key(it) != k {
+					t.Fatalf("lazy: item %d key %d, oracle %d", it, lazy.Key(it), k)
+				}
+			}
+		}
+	})
+}

@@ -393,6 +393,12 @@ type Observation struct {
 	// Err is the computation's error, if any (includes the ctx error
 	// when Canceled).
 	Err error
+	// HeapOps and Placements are the priority-queue operation and
+	// vertex-placement counts the method reported through the
+	// core.OrderStats context carrier. Zero for methods that do not
+	// report (only the Gorder greedy family does today).
+	HeapOps    int64
+	Placements int64
 }
 
 // Observer receives every Observation produced by Compute and
@@ -451,13 +457,17 @@ func ComputeObserved(ctx context.Context, g *graph.Graph, name string, opt Optio
 		notify(obs)
 		return nil, obs, err
 	}
+	st := new(core.OrderStats)
+	ctx = core.WithOrderStats(ctx, st)
 	start := time.Now()
 	perm, err := desc.Compute(ctx, g, opt)
 	obs := Observation{
-		Ordering: desc.Name,
-		Duration: time.Since(start),
-		Canceled: errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded),
-		Err:      err,
+		Ordering:   desc.Name,
+		Duration:   time.Since(start),
+		Canceled:   errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded),
+		Err:        err,
+		HeapOps:    st.HeapOps(),
+		Placements: st.Placements(),
 	}
 	notify(obs)
 	return perm, obs, err

@@ -53,6 +53,12 @@ type Server struct {
 	orderingRuns     map[string]*Counter
 	orderingMS       map[string]*Counter
 	orderingCanceled map[string]*Counter
+
+	// Aggregate greedy-work counters across all methods, from the
+	// core.OrderStats carrier the registry threads through every
+	// computation.
+	orderingHeapOps    *Counter
+	orderingPlacements *Counter
 }
 
 // New builds a Server (workers not yet started; call Start).
@@ -75,6 +81,9 @@ func New(cfg Config) *Server {
 		orderingRuns:     make(map[string]*Counter),
 		orderingMS:       make(map[string]*Counter),
 		orderingCanceled: make(map[string]*Counter),
+
+		orderingHeapOps:    m.Counter("ordering_heap_ops_total"),
+		orderingPlacements: m.Counter("ordering_placements_total"),
 	}
 	if st := cfg.Store; st != nil {
 		s.Reg.AttachStore(st)
@@ -405,6 +414,8 @@ func (s *Server) observeOrdering(obs registry.Observation) {
 	if obs.Canceled {
 		s.orderingCanceled[key].Inc()
 	}
+	s.orderingHeapOps.Add(obs.HeapOps)
+	s.orderingPlacements.Add(obs.Placements)
 }
 
 // execute is the pool's executor: it resolves the graph, runs the

@@ -620,6 +620,49 @@ func TestStoreBackedServerArtifactCache(t *testing.T) {
 	_ = s
 }
 
+// TestGreedyWorkMetrics: a Gorder job reports its priority-queue op
+// and placement counts through the core.OrderStats context carrier,
+// the registry observation carries them, and /metrics aggregates them
+// into ordering_heap_ops_total / ordering_placements_total.
+func TestGreedyWorkMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: PoolConfig{Workers: 1, QueueDepth: 4}})
+	g := gen.Web(600, gen.DefaultWeb, 3)
+	postGraph(t, ts, "web", edgeListBytes(t, g))
+
+	snap := metricsSnapshot(t, ts)
+	if snap["ordering_heap_ops_total"] != 0 || snap["ordering_placements_total"] != 0 {
+		t.Fatalf("work counters non-zero before any job: heap_ops=%d placements=%d",
+			snap["ordering_heap_ops_total"], snap["ordering_placements_total"])
+	}
+
+	st := waitJob(t, ts, postJob(t, ts, JobRequest{Kind: KindOrder, Graph: "web", Method: "gorder"}).ID)
+	if st.State != StateDone {
+		t.Fatalf("job ended %s (%s)", st.State, st.Error)
+	}
+	snap = metricsSnapshot(t, ts)
+	placed := snap["ordering_placements_total"]
+	if placed != int64(g.NumNodes()) {
+		t.Errorf("ordering_placements_total = %d, want %d", placed, g.NumNodes())
+	}
+	ops := snap["ordering_heap_ops_total"]
+	if ops <= placed {
+		t.Errorf("ordering_heap_ops_total = %d, implausibly low for %d placements", ops, placed)
+	}
+
+	// A second job accumulates on top.
+	st = waitJob(t, ts, postJob(t, ts, JobRequest{Kind: KindOrder, Graph: "web", Method: "gorder", Window: 3}).ID)
+	if st.State != StateDone {
+		t.Fatalf("second job ended %s (%s)", st.State, st.Error)
+	}
+	snap = metricsSnapshot(t, ts)
+	if got := snap["ordering_placements_total"]; got != 2*int64(g.NumNodes()) {
+		t.Errorf("ordering_placements_total = %d after two jobs, want %d", got, 2*g.NumNodes())
+	}
+	if got := snap["ordering_heap_ops_total"]; got <= ops {
+		t.Errorf("ordering_heap_ops_total did not grow: %d -> %d", ops, got)
+	}
+}
+
 // TestStoreBackedServerRestart rebuilds the server over the same data
 // directory and expects the full catalog and artifact cache back.
 func TestStoreBackedServerRestart(t *testing.T) {

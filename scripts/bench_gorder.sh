@@ -1,0 +1,89 @@
+#!/usr/bin/env sh
+# Runs the Gorder greedy hot-path benchmarks (BenchmarkOrderWith window
+# sweep + hub ablation, BenchmarkUnitHeapChurn) and records the result
+# as BENCH_gorder.json at the repo root, including the speedup of each
+# configuration over the embedded seed (pre-optimisation) baseline.
+#
+#   BENCHTIME=3x scripts/bench_gorder.sh      # more iterations
+#   COUNT=3      scripts/bench_gorder.sh      # best-of-3 per config
+#   PROFILE_DIR=/tmp scripts/bench_gorder.sh  # also write cpu/heap pprof
+set -eu
+
+cd "$(dirname "$0")/.."
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+profileflags=""
+if [ -n "${PROFILE_DIR:-}" ]; then
+	profileflags="-cpuprofile $PROFILE_DIR/gorder_bench_cpu.pprof -memprofile $PROFILE_DIR/gorder_bench_mem.pprof"
+fi
+
+# shellcheck disable=SC2086
+go test ./internal/core/ -run='^$' \
+	-bench='^(BenchmarkOrderWith|BenchmarkUnitHeapChurn)$' \
+	-benchmem -benchtime="${BENCHTIME:-1x}" -count="${COUNT:-1}" \
+	$profileflags | tee "$raw"
+
+cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 0)
+awk -v goversion="$(go env GOVERSION)" -v cores="$cores" '
+BEGIN {
+	# Seed baseline: commit 60fe5d5 (map-backed unit-heap class index,
+	# per-bump interface-dispatched Inc/Dec), same machine class,
+	# benchtime=1x. ns/op, allocs/op, placements/s per configuration.
+	seed["BenchmarkOrderWith/web120k/w=1/hub=0"]   = "225600000 27 53216"
+	seed["BenchmarkOrderWith/web120k/w=5/hub=0"]   = "209500000 28 57287"
+	seed["BenchmarkOrderWith/web120k/w=16/hub=0"]  = "217300000 29 55246"
+	seed["BenchmarkOrderWith/web120k/w=5/hub=64"]  = "106600000 27 112646"
+	seed["BenchmarkOrderWith/web1M/w=1/hub=0"]     = "2746500000 29 36411"
+	seed["BenchmarkOrderWith/web1M/w=5/hub=0"]     = "2910500000 29 34360"
+	seed["BenchmarkOrderWith/web1M/w=16/hub=0"]    = "2758400000 33 36280"
+	seed["BenchmarkOrderWith/web1M/w=5/hub=64"]    = "1208400000 29 82806"
+	seed["BenchmarkUnitHeapChurn"]                 = "9920000 9 0"
+	printf "{\n"
+	printf "  \"generated_by\": \"scripts/bench_gorder.sh\",\n"
+	printf "  \"go\": \"%s\",\n", goversion
+	printf "  \"cores\": %d,\n", cores
+	printf "  \"seed_baseline\": \"60fe5d5 map-backed class index, per-bump heap updates\",\n"
+	printf "  \"benchmarks\": [\n"
+	first = 1
+}
+/^Benchmark/ {
+	name = $1; iters = $2; ns = $3
+	bpo = "null"; apo = "null"; pps = "null"; edges = "null"
+	for (i = 4; i < NF; i++) {
+		if ($(i+1) == "B/op") bpo = $i
+		if ($(i+1) == "allocs/op") apo = $i
+		if ($(i+1) == "placements/s") pps = $i
+		if ($(i+1) == "edges") edges = $i
+	}
+	# Strip the GOMAXPROCS suffix to match the seed table; keep the best
+	# (minimum ns) run per name when COUNT > 1.
+	base = name
+	sub(/-[0-9]+$/, "", base)
+	if (base in best && best[base] + 0 <= ns + 0) next
+	best[base] = ns
+	line = ""
+	line = line sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, ", base, iters, ns)
+	line = line sprintf("\"bytes_per_op\": %s, \"allocs_per_op\": %s, ", bpo, apo)
+	line = line sprintf("\"placements_per_s\": %s, \"edges\": %s", pps, edges)
+	if (base in seed) {
+		split(seed[base], s, " ")
+		line = line sprintf(", \"seed_ns_per_op\": %s, \"seed_allocs_per_op\": %s", s[1], s[2])
+		if (s[3] + 0 > 0) line = line sprintf(", \"seed_placements_per_s\": %s", s[3])
+		line = line sprintf(", \"speedup\": %.2f", s[1] / ns)
+	}
+	line = line "}"
+	out[base] = line
+	if (!(base in ord)) { ord[base] = ++n; names[n] = base }
+}
+END {
+	for (i = 1; i <= n; i++) {
+		if (!first) printf ",\n"
+		first = 0
+		printf "%s", out[names[i]]
+	}
+	printf "\n  ]\n}\n"
+}' "$raw" > BENCH_gorder.json
+
+echo "wrote BENCH_gorder.json"

@@ -25,6 +25,14 @@ if grep -rn --include='*.go' -E 'filepath\.Join\([^)]*"(graphs|orders|manifest\.
     exit 1
 fi
 
+echo "==> map-free unit-heap gate (dense class indices only)"
+# The unit heap's per-key-class head/tail indices are plain slices; a
+# map reintroduces hashing on the greedy's hottest path.
+if grep -n 'map\[' internal/core/unitheap.go; then
+    echo "FAIL: map-backed structure in internal/core/unitheap.go" >&2
+    exit 1
+fi
+
 echo "==> go build ./..."
 go build ./...
 
@@ -33,6 +41,9 @@ go vet ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> greedy parity under race (optimized loop == seed reference, bit for bit)"
+go test -race -run 'TestOrderOptimizedMatchesReference' -count=1 ./internal/core/
 
 echo "==> GOMAXPROCS=1 go test (serial ingest fallback + registry parity)"
 GOMAXPROCS=1 go test ./internal/graph/ ./internal/cli/ ./internal/server/ ./internal/registry/
@@ -43,5 +54,8 @@ go test -race ./internal/store/ -run 'TestStoreColdWarm' -count=1
 
 echo "==> ingest benchmark smoke (-benchtime=1x)"
 go test ./internal/graph/ -run='^$' -bench=. -benchtime=1x
+
+echo "==> ordering benchmark smoke (-benchtime=1x)"
+go test ./internal/core/ -run='^$' -bench='BenchmarkOrderWith/web120k' -benchtime=1x
 
 echo "CI OK"
