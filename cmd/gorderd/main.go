@@ -12,8 +12,17 @@
 //	GET  /jobs                     list jobs
 //	GET  /jobs/{id}                poll a job (queued/running/done/failed/canceled)
 //	GET  /jobs/{id}/permutation    download a done order job's permutation
+//	POST /query                    run a kernel: {"graph":"web","kernel":"BFS"}
+//	POST /query/batch              run up to 256 queries: {"queries":[...]}
 //	GET  /healthz                  liveness
 //	GET  /metrics                  counters and gauges
+//
+// Queries execute registry kernels (BFS, SP, PR, Kcore, NQ, Tri) over
+// the best stored ordering for the graph — explicit "order", else the
+// latest ordering artifact, else natural order; the response reports
+// which served it. Results are cached in memory and, for whole-graph
+// kernels, materialized in the store. Queries are reads: they run on
+// a separate concurrency limit and never wait behind ordering jobs.
 //
 // On SIGINT/SIGTERM the daemon stops accepting work, lets in-flight
 // jobs finish within the grace period, and persists still-queued jobs
@@ -56,6 +65,9 @@ func main() {
 		memBudget = flag.Int64("mem-budget", 0, "byte budget for graphs held resident in memory; evicted graphs reload from the store (0 = unlimited; needs -data-dir)")
 		maxUpload = flag.Int64("max-upload", 32<<20, "max graph upload size in bytes")
 		manifest  = flag.String("manifest", "gorderd.manifest.json", "queued-job manifest persisted on shutdown ('' disables)")
+		queryConc = flag.Int("query-concurrency", 0, "concurrent kernel queries (0 = 8); independent of -workers")
+		queryTO   = flag.Duration("query-timeout", 30*time.Second, "default per-query deadline")
+		queryCach = flag.Int64("query-cache", 0, "byte budget for the in-memory query result cache (0 = 64 MiB)")
 		verbose   = flag.Bool("v", false, "debug logging")
 	)
 	flag.Parse()
@@ -87,9 +99,12 @@ func main() {
 			QueueDepth:     *queue,
 			DefaultTimeout: *timeout,
 		},
-		MaxUpload: *maxUpload,
-		Logger:    log,
-		Store:     st,
+		MaxUpload:         *maxUpload,
+		Logger:            log,
+		Store:             st,
+		QueryConcurrency:  *queryConc,
+		QueryTimeout:      *queryTO,
+		QueryResultBudget: *queryCach,
 	})
 
 	if *dataDir != "" {

@@ -1,0 +1,98 @@
+package query
+
+import "sync"
+
+// byteLRU is a byte-budgeted LRU over string keys, shared by the
+// executor's result cache and relabeled-graph cache. It mirrors the
+// store's residency discipline: admit unconditionally, then evict
+// least-recently-used entries until the budget holds (a single entry
+// larger than the whole budget is still admitted — evicting the thing
+// just computed would only guarantee recomputation).
+type byteLRU struct {
+	mu        sync.Mutex
+	budget    int64
+	bytes     int64
+	entries   map[string]*lruEntry
+	head      *lruEntry // most recently used
+	tail      *lruEntry // least recently used
+	evictions int64
+}
+
+type lruEntry struct {
+	key        string
+	value      any
+	size       int64
+	prev, next *lruEntry
+}
+
+func newByteLRU(budget int64) *byteLRU {
+	return &byteLRU{budget: budget, entries: make(map[string]*lruEntry)}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *byteLRU) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.unlink(e)
+	c.pushFront(e)
+	return e.value, true
+}
+
+// put admits (or refreshes) key and evicts down to the budget.
+func (c *byteLRU) put(key string, value any, size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.bytes += size - e.size
+		e.value, e.size = value, size
+		c.unlink(e)
+		c.pushFront(e)
+	} else {
+		e = &lruEntry{key: key, value: value, size: size}
+		c.entries[key] = e
+		c.bytes += size
+		c.pushFront(e)
+	}
+	for c.bytes > c.budget && c.tail != nil && c.tail != c.head {
+		ev := c.tail
+		c.unlink(ev)
+		delete(c.entries, ev.key)
+		c.bytes -= ev.size
+		c.evictions++
+	}
+}
+
+func (c *byteLRU) stats() (entries int, bytes, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.bytes, c.evictions
+}
+
+func (c *byteLRU) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *byteLRU) pushFront(e *lruEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}

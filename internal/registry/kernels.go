@@ -54,6 +54,20 @@ type Kernel struct {
 	// traced view and the source graph (for order-invariant setup such
 	// as picking the SP source or building Kcore's undirected view).
 	RunTraced func(g *graph.Graph, t *algos.TracedGraph, s *mem.Space, p KernelParams)
+	// Query, when non-nil, makes the kernel servable by the query
+	// tier: it produces a KernelResult whose summary and vector are
+	// invariant under relabeling (so results computed on any ordering
+	// map back to the caller's ID space exactly). Kernels whose
+	// natural output is order-dependent (visit sequences, component
+	// labels) leave it nil.
+	Query func(g *graph.Graph, p KernelParams, s *QueryScratch) (KernelResult, error)
+	// WholeGraph marks source-independent queryable kernels whose
+	// full result the query tier may materialize as a store artifact.
+	WholeGraph bool
+	// QueryConsumes lists the KernelParams fields Query reads;
+	// CanonicalKernelParams zeroes everything else so result caches
+	// do not split on parameters the kernel ignores.
+	QueryConsumes []KernelOptionField
 }
 
 // spSource resolves the Bellman–Ford source for p on g.
@@ -75,6 +89,7 @@ func spSource(g *graph.Graph, p KernelParams) graph.NodeID {
 var kernels = []Kernel{
 	{
 		Name: "BFS", Paper: true,
+		Query: queryBFS, QueryConsumes: []KernelOptionField{KOptSource},
 		Run: func(g *graph.Graph, _ KernelParams) { algos.BFSAll(g) },
 		RunTraced: func(_ *graph.Graph, t *algos.TracedGraph, s *mem.Space, _ KernelParams) {
 			algos.TracedBFSAll(t, s)
@@ -105,6 +120,7 @@ var kernels = []Kernel{
 	},
 	{
 		Name: "Kcore", Paper: true,
+		Query: queryKcore, WholeGraph: true,
 		Run: func(g *graph.Graph, _ KernelParams) { algos.CoreNumbers(g) },
 		RunTraced: func(g *graph.Graph, _ *algos.TracedGraph, s *mem.Space, _ KernelParams) {
 			algos.TracedCoreNumbers(g, s)
@@ -121,6 +137,7 @@ var kernels = []Kernel{
 	},
 	{
 		Name: "NQ", Paper: true,
+		Query: queryNQ, WholeGraph: true,
 		Run: func(g *graph.Graph, _ KernelParams) { algos.NeighbourQuery(g) },
 		RunTraced: func(_ *graph.Graph, t *algos.TracedGraph, s *mem.Space, _ KernelParams) {
 			algos.TracedNeighbourQuery(t, s)
@@ -128,6 +145,7 @@ var kernels = []Kernel{
 	},
 	{
 		Name: "PR", Paper: true,
+		Query: queryPR, WholeGraph: true, QueryConsumes: []KernelOptionField{KOptIters},
 		Run: func(g *graph.Graph, p KernelParams) {
 			algos.PageRank(g, p.PageRankIters, algos.DefaultDamping)
 		},
@@ -144,6 +162,7 @@ var kernels = []Kernel{
 	},
 	{
 		Name: "SP", Paper: true,
+		Query: querySP, QueryConsumes: []KernelOptionField{KOptSource},
 		Run: func(g *graph.Graph, p KernelParams) {
 			algos.BellmanFord(g, spSource(g, p))
 		},
@@ -152,8 +171,9 @@ var kernels = []Kernel{
 		},
 	},
 	{
-		Name: "Tri",
-		Run:  func(g *graph.Graph, _ KernelParams) { algos.TriangleCount(g) },
+		Name:  "Tri",
+		Query: queryTri, WholeGraph: true,
+		Run: func(g *graph.Graph, _ KernelParams) { algos.TriangleCount(g) },
 		RunTraced: func(g *graph.Graph, _ *algos.TracedGraph, s *mem.Space, _ KernelParams) {
 			algos.TracedTriangleCount(g, s)
 		},

@@ -1,0 +1,266 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"gorder/internal/graph"
+	"gorder/internal/query"
+	"gorder/internal/registry"
+)
+
+// The query endpoints: POST /query and POST /query/batch execute
+// registry kernels against registered graphs through the
+// internal/query executor. Queries are reads — they run on the HTTP
+// goroutine behind their own concurrency gate and never enter the
+// compute worker pool, so a long ordering job can saturate every
+// worker without adding a microsecond to query latency.
+
+// Query-path defaults when Config leaves the knobs zero.
+const (
+	defaultQueryConcurrency = 8
+	defaultQueryWaitCap     = 64
+	defaultQueryTimeout     = 30 * time.Second
+)
+
+// regSource adapts the server's graph registry to the executor's
+// Source interface.
+type regSource struct{ r *Registry }
+
+func (s regSource) Stat(ref string) (string, int, bool) {
+	info, ok := s.r.Stat(ref)
+	return info.ID, info.Nodes, ok
+}
+
+func (s regSource) Resolve(ref string) (*graph.Graph, string, bool) {
+	g, info, ok := s.r.Get(ref)
+	return g, info.ID, ok
+}
+
+// readGate is the query tier's admission control: a slot semaphore
+// sized to the read concurrency limit plus a bounded waiting room,
+// mirroring the job queue's depth-cap discipline. Full waiting room →
+// 429, so overload degrades into fast rejections instead of a convoy.
+type readGate struct {
+	slots   chan struct{}
+	waitCap int64
+	waiting atomic.Int64
+}
+
+func newReadGate(concurrency, waitCap int) *readGate {
+	return &readGate{
+		slots:   make(chan struct{}, concurrency),
+		waitCap: int64(waitCap),
+	}
+}
+
+// errGateFull reports a full waiting room.
+var errGateFull = errors.New("query gate full")
+
+func (g *readGate) acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if g.waiting.Add(1) > g.waitCap {
+		g.waiting.Add(-1)
+		return errGateFull
+	}
+	defer g.waiting.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *readGate) release() { <-g.slots }
+
+// initQuery builds the executor, gate, and metrics; called from New.
+func (s *Server) initQuery(m *Metrics) {
+	s.Query = query.New(query.Config{
+		Source:       regSource{s.Reg},
+		Store:        s.cfg.Store,
+		ResultBudget: s.cfg.QueryResultBudget,
+		GraphBudget:  s.cfg.QueryGraphBudget,
+	})
+	conc := s.cfg.QueryConcurrency
+	if conc <= 0 {
+		conc = defaultQueryConcurrency
+	}
+	waitCap := s.cfg.QueryWaitCap
+	if waitCap <= 0 {
+		waitCap = defaultQueryWaitCap
+	}
+	s.qgate = newReadGate(conc, waitCap)
+
+	s.queryRequests = m.Counter("query_requests_total")
+	s.queryErrors = m.Counter("query_errors_total")
+	s.queryRejected = m.Counter("query_rejected_total")
+	s.queryBatches = m.Counter("query_batch_total")
+	s.queryMS = m.Counter("query_ms_total")
+	m.Func("query_cache_hits_total", s.Query.CacheHits)
+	m.Func("query_cache_misses_total", s.Query.CacheMisses)
+	m.Func("query_materialized_hits_total", s.Query.MaterializedHits)
+	m.Func("query_kernel_runs_total", s.Query.KernelRuns)
+	m.Func("query_relabel_builds_total", s.Query.RelabelBuilds)
+	m.Func("query_result_cache_bytes", s.Query.ResultCacheBytes)
+	m.Func("query_graph_cache_bytes", s.Query.GraphCacheBytes)
+	// Pre-register one counter per queryable kernel so /metrics shows
+	// the full query surface from startup, zeros included.
+	s.queryKernel = make(map[string]*Counter)
+	for _, name := range registry.QueryableKernelNames() {
+		key := strings.ToLower(name)
+		s.queryKernel[key] = m.Counter("query_total_" + key)
+	}
+}
+
+// queryContext applies the per-request deadline: the request's
+// timeout_ms when given, the server default otherwise.
+func (s *Server) queryContext(r *http.Request, timeoutMs int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.QueryTimeout
+	if d <= 0 {
+		d = defaultQueryTimeout
+	}
+	if timeoutMs > 0 && time.Duration(timeoutMs)*time.Millisecond < d {
+		d = time.Duration(timeoutMs) * time.Millisecond
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// writeQueryError maps an executor error onto the uniform envelope.
+func (s *Server) writeQueryError(w http.ResponseWriter, qerr *query.Error) {
+	s.queryErrors.Inc()
+	s.writeError(w, qerr.Status, qerr.Code, "%s", qerr.Message)
+}
+
+// admitQuery runs the gate; a false return means the response is
+// already written.
+func (s *Server) admitQuery(w http.ResponseWriter, ctx context.Context) bool {
+	switch err := s.qgate.acquire(ctx); {
+	case errors.Is(err, errGateFull):
+		s.queryRejected.Inc()
+		s.writeError(w, http.StatusTooManyRequests, "query_busy",
+			"the query tier is at its concurrency limit; retry later")
+		return false
+	case err != nil:
+		s.queryErrors.Inc()
+		s.writeError(w, http.StatusGatewayTimeout, "query_timeout",
+			"query deadline exceeded while waiting for a slot")
+		return false
+	}
+	return true
+}
+
+// handleQuery serves POST /query: one kernel execution.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.methodNotAllowed(w, r, http.MethodPost)
+		return
+	}
+	s.queryRequests.Inc()
+	var req query.Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.queryErrors.Inc()
+		s.writeError(w, http.StatusBadRequest, "bad_request", "decoding query: %v", err)
+		return
+	}
+	if req.TimeoutMs < 0 {
+		s.queryErrors.Inc()
+		s.writeError(w, http.StatusBadRequest, "bad_timeout", "timeout_ms must be >= 0")
+		return
+	}
+	ctx, cancel := s.queryContext(r, req.TimeoutMs)
+	defer cancel()
+	if !s.admitQuery(w, ctx) {
+		return
+	}
+	defer s.qgate.release()
+
+	start := time.Now()
+	resp, qerr := s.Query.Run(ctx, req)
+	s.queryMS.Add(time.Since(start).Milliseconds())
+	if qerr != nil {
+		s.writeQueryError(w, qerr)
+		return
+	}
+	if c, ok := s.queryKernel[strings.ToLower(resp.Kernel)]; ok {
+		c.Inc()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// batchRequest is the POST /query/batch body.
+type batchRequest struct {
+	Queries []query.Request `json:"queries"`
+}
+
+// maxBatchBody caps /query/batch bodies: MaxBatch queries of modest
+// size fit comfortably.
+const maxBatchBody = 1 << 20
+
+// handleQueryBatch serves POST /query/batch: up to query.MaxBatch
+// queries whose same-graph members share residency, the relabeled
+// graph, and traversal scratch. Items come back positionally; each
+// succeeds or fails on its own.
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.methodNotAllowed(w, r, http.MethodPost)
+		return
+	}
+	s.queryRequests.Inc()
+	s.queryBatches.Inc()
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.queryErrors.Inc()
+		s.writeError(w, http.StatusBadRequest, "bad_request", "decoding batch: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.queryErrors.Inc()
+		s.writeError(w, http.StatusBadRequest, "empty_batch", "batch has no queries")
+		return
+	}
+	if len(req.Queries) > query.MaxBatch {
+		s.queryErrors.Inc()
+		s.writeError(w, http.StatusBadRequest, "batch_too_large",
+			"batch of %d exceeds the %d-query limit", len(req.Queries), query.MaxBatch)
+		return
+	}
+	ctx, cancel := s.queryContext(r, 0)
+	defer cancel()
+	if !s.admitQuery(w, ctx) {
+		return
+	}
+	defer s.qgate.release()
+
+	start := time.Now()
+	items := s.Query.RunBatch(ctx, req.Queries)
+	s.queryMS.Add(time.Since(start).Milliseconds())
+	ok := 0
+	for _, it := range items {
+		if it.Error != nil {
+			s.queryErrors.Inc()
+			continue
+		}
+		ok++
+		if c, found := s.queryKernel[strings.ToLower(it.Response.Kernel)]; found {
+			c.Inc()
+		}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"items": items,
+		"ok":    ok,
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"gorder"
 	"gorder/internal/core"
 	"gorder/internal/order"
+	"gorder/internal/query"
 	"gorder/internal/registry"
 	"gorder/internal/store"
 )
@@ -31,6 +32,15 @@ type Config struct {
 	// artifact cache before computing and persist results after, and
 	// the store_* metrics are exported.
 	Store *store.Store
+
+	// Query-tier knobs. Queries run on the HTTP goroutines behind
+	// their own gate — never in the compute worker pool — so these are
+	// independent of Pool.Workers.
+	QueryConcurrency  int           // concurrent queries; <= 0 means 8
+	QueryWaitCap      int           // queued waiters before 429; <= 0 means 64
+	QueryTimeout      time.Duration // default per-query deadline; <= 0 means 30s
+	QueryResultBudget int64         // result-cache LRU bytes; <= 0 means 64 MiB
+	QueryGraphBudget  int64         // relabeled-graph LRU bytes; <= 0 means 256 MiB
 }
 
 // Server glues the registry, the pool, and the metrics into the HTTP
@@ -42,10 +52,21 @@ type Server struct {
 	Metrics *Metrics
 	Reg     *Registry
 	Pool    *Pool
+	Query   *query.Executor
 	mux     *http.ServeMux
 
 	httpRequests *Counter
 	httpErrors   *Counter
+
+	// Query-tier plumbing: the read gate and its counters (the
+	// executor's own counters are exported as Func metrics).
+	qgate         *readGate
+	queryRequests *Counter
+	queryErrors   *Counter
+	queryRejected *Counter
+	queryBatches  *Counter
+	queryMS       *Counter
+	queryKernel   map[string]*Counter
 
 	// Per-ordering instrumentation, fed by the registry's observation
 	// hook: runs, cumulative wall milliseconds, and cancellations,
@@ -94,7 +115,11 @@ func New(cfg Config) *Server {
 		m.Func("store_graph_reloads_total", st.Reloads)
 		m.Func("store_graphs", st.GraphCount)
 		m.Func("store_orders", st.OrderCount)
+		m.Func("store_results", st.ResultCount)
+		m.Func("store_result_hits_total", st.ResultHits)
+		m.Func("store_result_misses_total", st.ResultMisses)
 	}
+	s.initQuery(m)
 	// Pre-register one counter triple per catalog ordering so /metrics
 	// exposes every method from startup (zeros included) and the
 	// observation hook never registers metrics concurrently.
@@ -113,6 +138,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/graphs/", s.handleGraphByID)
 	s.mux.HandleFunc("/jobs", s.handleJobs)
 	s.mux.HandleFunc("/jobs/", s.handleJobByID)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/query/batch", s.handleQueryBatch)
 	return s
 }
 

@@ -13,9 +13,10 @@ import (
 // this package — CI greps that no other package builds paths into the
 // data dir.
 const (
-	graphsDirName = "graphs"
-	ordersDirName = "orders"
-	manifestName  = "manifest.json"
+	graphsDirName  = "graphs"
+	ordersDirName  = "orders"
+	resultsDirName = "results"
+	manifestName   = "manifest.json"
 
 	manifestVersion = 1
 )
@@ -44,6 +45,20 @@ type orderRec struct {
 	LastAccess time.Time `json:"last_access"`
 }
 
+// resultRec is one materialized kernel-result artifact's manifest
+// entry: a whole-graph query result (PageRank ranks, core numbers, …)
+// in the query tier's binary codec, keyed by graph digest + canonical
+// kernel name + canonical-params hash.
+type resultRec struct {
+	Graph      string    `json:"graph"`  // graph digest the result belongs to
+	Kernel     string    `json:"kernel"` // canonical lowercase kernel name
+	ParamKey   string    `json:"param_key"`
+	Bytes      int64     `json:"bytes"`
+	CRC32      string    `json:"crc32"`
+	Added      time.Time `json:"added"`
+	LastAccess time.Time `json:"last_access"`
+}
+
 // manifest is the JSON index of everything in the store, written
 // atomically on every mutation so a crash never loses or tears it.
 type manifest struct {
@@ -51,6 +66,9 @@ type manifest struct {
 	Graphs  map[string]*graphRec `json:"graphs"` // digest -> record
 	Names   map[string]string    `json:"names"`  // graph name -> digest
 	Orders  map[string]*orderRec `json:"orders"` // artifact file name -> record
+	// Results maps result-artifact file names to records. Omitted
+	// (nil) in manifests written before the query tier existed.
+	Results map[string]*resultRec `json:"results,omitempty"`
 }
 
 func newManifest() *manifest {
@@ -59,6 +77,7 @@ func newManifest() *manifest {
 		Graphs:  make(map[string]*graphRec),
 		Names:   make(map[string]string),
 		Orders:  make(map[string]*orderRec),
+		Results: make(map[string]*resultRec),
 	}
 }
 
@@ -89,6 +108,9 @@ func loadManifest(path string) (*manifest, error) {
 	}
 	if m.Orders == nil {
 		m.Orders = make(map[string]*orderRec)
+	}
+	if m.Results == nil {
+		m.Results = make(map[string]*resultRec)
 	}
 	return &m, nil
 }

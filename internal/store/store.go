@@ -92,10 +92,12 @@ type Store struct {
 	residentBytes int64
 	lruSeq        int64
 
-	hits      atomic.Int64 // ordering-artifact cache hits
-	misses    atomic.Int64 // ordering-artifact cache misses
-	evictions atomic.Int64 // graphs evicted from residency
-	reloads   atomic.Int64 // graphs reloaded from disk after eviction/restart
+	hits         atomic.Int64 // ordering-artifact cache hits
+	misses       atomic.Int64 // ordering-artifact cache misses
+	evictions    atomic.Int64 // graphs evicted from residency
+	reloads      atomic.Int64 // graphs reloaded from disk after eviction/restart
+	resultHits   atomic.Int64 // kernel-result artifact hits
+	resultMisses atomic.Int64 // kernel-result artifact misses
 }
 
 // Open creates or reopens the store at cfg.Dir. Manifest entries
@@ -105,7 +107,8 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.Dir == "" {
 		return nil, errors.New("store: Config.Dir is required")
 	}
-	for _, d := range []string{cfg.Dir, filepath.Join(cfg.Dir, graphsDirName), filepath.Join(cfg.Dir, ordersDirName)} {
+	for _, d := range []string{cfg.Dir, filepath.Join(cfg.Dir, graphsDirName),
+		filepath.Join(cfg.Dir, ordersDirName), filepath.Join(cfg.Dir, resultsDirName)} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, err
 		}
@@ -139,6 +142,14 @@ func Open(cfg Config) (*Store, error) {
 		_, graphOK := man.Graphs[rec.Graph]
 		if statErr != nil || !graphOK {
 			delete(man.Orders, file)
+			dropped = true
+		}
+	}
+	for file, rec := range man.Results {
+		_, statErr := os.Stat(filepath.Join(s.dir, resultsDirName, file))
+		_, graphOK := man.Graphs[rec.Graph]
+		if statErr != nil || !graphOK {
+			delete(man.Results, file)
 			dropped = true
 		}
 	}
@@ -370,6 +381,12 @@ func (s *Store) dropGraph(digest string) {
 			delete(s.man.Orders, file)
 		}
 	}
+	for file, rec := range s.man.Results {
+		if rec.Graph == digest {
+			os.Remove(filepath.Join(s.dir, resultsDirName, file))
+			delete(s.man.Results, file)
+		}
+	}
 	os.Remove(s.graphPath(digest))
 	s.saveManifestLocked()
 }
@@ -453,6 +470,108 @@ func (s *Store) GetOrder(graphDigest, method, optKey string, wantLen int) (order
 	return perm, true
 }
 
+// LatestOrder reports the most recently used ordering artifact stored
+// for graphDigest — the "best available ordering" the query tier falls
+// back to when a request does not name one. A non-empty method
+// restricts the scan to that ordering method (for requests that name
+// one explicitly). Ties break on Added time then file name, so the
+// choice is deterministic.
+func (s *Store) LatestOrder(graphDigest, method string) (string, string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var bestFile string
+	var best *orderRec
+	for file, rec := range s.man.Orders {
+		if rec.Graph != graphDigest || (method != "" && rec.Method != method) {
+			continue
+		}
+		if best == nil ||
+			rec.LastAccess.After(best.LastAccess) ||
+			(rec.LastAccess.Equal(best.LastAccess) &&
+				(rec.Added.After(best.Added) ||
+					(rec.Added.Equal(best.Added) && file > bestFile))) {
+			best, bestFile = rec, file
+		}
+	}
+	if best == nil {
+		return "", "", false
+	}
+	return best.Method, best.OptKey, true
+}
+
+// ---- kernel-result artifacts --------------------------------------------
+
+// resultFileName is the materialized-result naming scheme:
+// <graph-digest>-<kernel>-<params-hash>.
+func resultFileName(graphDigest, kernel, paramKey string) string {
+	return graphDigest + "-" + kernel + "-" + paramKey
+}
+
+// PutResult persists an encoded whole-graph kernel result for (graph,
+// kernel, canonical-params) so repeat queries survive a restart. data
+// is opaque to the store (the query tier owns the codec); integrity is
+// the store's CRC.
+func (s *Store) PutResult(graphDigest, kernel, paramKey string, data []byte) error {
+	s.mu.Lock()
+	_, known := s.man.Graphs[graphDigest]
+	s.mu.Unlock()
+	if !known {
+		return fmt.Errorf("%w: %s", ErrUnknownGraph, graphDigest)
+	}
+	file := resultFileName(graphDigest, kernel, paramKey)
+	err := WriteFileAtomic(filepath.Join(s.dir, resultsDirName, file), 0o644, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("store: persisting result %s: %w", file, err)
+	}
+	now := time.Now().UTC()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.man.Results[file] = &resultRec{
+		Graph: graphDigest, Kernel: kernel, ParamKey: paramKey,
+		Bytes: int64(len(data)), CRC32: fmt.Sprintf("%08x", crc32.ChecksumIEEE(data)),
+		Added: now, LastAccess: now,
+	}
+	return s.saveManifestLocked()
+}
+
+// GetResult loads a materialized kernel result. Any integrity failure
+// silently invalidates the artifact — it is dropped so the query tier
+// simply recomputes and re-materializes, mirroring the corrupt-graph
+// behaviour.
+func (s *Store) GetResult(graphDigest, kernel, paramKey string) ([]byte, bool) {
+	file := resultFileName(graphDigest, kernel, paramKey)
+	s.mu.Lock()
+	rec, ok := s.man.Results[file]
+	if !ok {
+		s.mu.Unlock()
+		s.resultMisses.Add(1)
+		return nil, false
+	}
+	rec.LastAccess = time.Now().UTC()
+	wantCRC := rec.CRC32
+	s.mu.Unlock()
+
+	path := filepath.Join(s.dir, resultsDirName, file)
+	data, err := os.ReadFile(path)
+	if err == nil && fmt.Sprintf("%08x", crc32.ChecksumIEEE(data)) != wantCRC {
+		err = errors.New("artifact checksum mismatch")
+	}
+	if err != nil {
+		s.mu.Lock()
+		delete(s.man.Results, file)
+		os.Remove(path)
+		s.saveManifestLocked()
+		s.mu.Unlock()
+		s.resultMisses.Add(1)
+		return nil, false
+	}
+	s.resultHits.Add(1)
+	return data, true
+}
+
 // ---- metrics ------------------------------------------------------------
 
 // Hits returns the ordering-artifact cache hit count.
@@ -487,6 +606,19 @@ func (s *Store) OrderCount() int64 {
 	defer s.mu.Unlock()
 	return int64(len(s.man.Orders))
 }
+
+// ResultCount returns the number of materialized kernel-result artifacts.
+func (s *Store) ResultCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.man.Results))
+}
+
+// ResultHits returns the materialized-result artifact hit count.
+func (s *Store) ResultHits() int64 { return s.resultHits.Load() }
+
+// ResultMisses returns the materialized-result artifact miss count.
+func (s *Store) ResultMisses() int64 { return s.resultMisses.Load() }
 
 // countWriter counts bytes on their way to w.
 type countWriter struct {

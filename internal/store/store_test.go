@@ -334,3 +334,106 @@ func TestWriteFileAtomic(t *testing.T) {
 		}
 	}
 }
+
+func TestStoreResultArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	blob := []byte("GQR1 pretend-encoded-pagerank-result")
+
+	// Results for unregistered graphs are refused: a result must never
+	// outlive (or predate) the graph it describes.
+	if err := s.PutResult("d1", "pr", "abcd", blob); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("orphan result error = %v, want ErrUnknownGraph", err)
+	}
+	if err := s.PutGraph("d1", "g", gen.Ring(16), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetResult("d1", "pr", "abcd"); ok {
+		t.Fatal("hit on an empty result store")
+	}
+	if s.ResultMisses() != 1 {
+		t.Errorf("result misses = %d, want 1", s.ResultMisses())
+	}
+	if err := s.PutResult("d1", "pr", "abcd", blob); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.GetResult("d1", "pr", "abcd")
+	if !ok || string(got) != string(blob) {
+		t.Fatalf("round trip = %v, %q", ok, got)
+	}
+	if s.ResultHits() != 1 || s.ResultCount() != 1 {
+		t.Errorf("hits=%d count=%d, want 1,1", s.ResultHits(), s.ResultCount())
+	}
+
+	// Survives a restart byte for byte.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, 0)
+	got, ok = s2.GetResult("d1", "pr", "abcd")
+	if !ok || string(got) != string(blob) {
+		t.Fatalf("restart round trip = %v, %q", ok, got)
+	}
+
+	// A corrupted result blob is dropped so the caller recomputes; the
+	// file is removed and no reopen resurrects the record.
+	file := filepath.Join(dir, resultsDirName, resultFileName("d1", "pr", "abcd"))
+	if err := os.WriteFile(file, []byte("bitrot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.GetResult("d1", "pr", "abcd"); ok {
+		t.Fatal("corrupt result served")
+	}
+	if _, err := os.Stat(file); !errors.Is(err, os.ErrNotExist) {
+		t.Error("corrupt result file not removed")
+	}
+	if s2.ResultCount() != 0 {
+		t.Errorf("result count = %d after corrupt drop", s2.ResultCount())
+	}
+	s2.Close()
+	s3 := open(t, dir, 0)
+	if _, ok := s3.GetResult("d1", "pr", "abcd"); ok {
+		t.Fatal("corrupt result resurrected on reopen")
+	}
+
+	// Re-put heals, and dropping the graph takes its results with it.
+	if err := s3.PutResult("d1", "pr", "abcd", blob); err != nil {
+		t.Fatal(err)
+	}
+	s3.dropGraph("d1")
+	if s3.ResultCount() != 0 {
+		t.Errorf("results survived their graph: count = %d", s3.ResultCount())
+	}
+}
+
+func TestStoreLatestOrder(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	if _, _, ok := s.LatestOrder("d1", ""); ok {
+		t.Fatal("latest order on an empty store")
+	}
+	perm := order.Identity(16)
+	if err := s.PutOrder("d1", "rcm", "aaaa", perm); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutOrder("d1", "gorder", "bbbb", perm); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutOrder("other", "slashburn", "cccc", perm); err != nil {
+		t.Fatal(err)
+	}
+	// Touching an artifact makes it the latest; other graphs' artifacts
+	// never leak in.
+	if _, ok := s.GetOrder("d1", "rcm", "aaaa", 16); !ok {
+		t.Fatal("artifact gone")
+	}
+	if m, k, ok := s.LatestOrder("d1", ""); !ok || m != "rcm" || k != "aaaa" {
+		t.Fatalf("latest = %s/%s %v, want rcm/aaaa", m, k, ok)
+	}
+	// Method filter pins the scan to that method's artifacts.
+	if m, k, ok := s.LatestOrder("d1", "gorder"); !ok || m != "gorder" || k != "bbbb" {
+		t.Fatalf("latest gorder = %s/%s %v, want gorder/bbbb", m, k, ok)
+	}
+	if _, _, ok := s.LatestOrder("d1", "slashburn"); ok {
+		t.Fatal("method filter leaked another graph's artifact")
+	}
+}

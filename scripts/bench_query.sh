@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_query.json: percentile latency + cache-hit rate for
+# the query tier's mixed single/batch kernel workload over the 1M-edge
+# web graph (gen.Web, DefaultWeb, seed 0x90DE), served over a stored
+# gorder artifact. Run from anywhere; writes to the repo root.
+#
+# Override the graph size with QUERY_BENCH_NODES (default 100000).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+QUERY_BENCH_JSON="$PWD/BENCH_query.json" \
+    go test ./internal/query/ -run 'TestQueryLatencyHarness' -count=1 -v -timeout 30m
+
+echo "wrote $PWD/BENCH_query.json"

@@ -17,11 +17,24 @@ fi
 
 echo "==> store encapsulation gate (data-dir layout private to internal/store)"
 # Only internal/store may touch the on-disk layout (graphs/, orders/,
-# manifest.json). Anything else reaching into the data dir bypasses the
-# checksums, residency accounting, and crash-safe manifest updates.
-if grep -rn --include='*.go' -E 'filepath\.Join\([^)]*"(graphs|orders|manifest\.json)"' \
+# results/, manifest.json). Anything else reaching into the data dir
+# bypasses the checksums, residency accounting, and crash-safe manifest
+# updates. Tests are exempt: failure-injection tests corrupt blobs in
+# place on purpose.
+if grep -rn --include='*.go' --exclude='*_test.go' \
+    -E 'filepath\.Join\([^)]*"(graphs|orders|results|manifest\.json)"' \
     cmd internal examples ./*.go 2>/dev/null | grep -v '^internal/store/'; then
     echo "FAIL: data-dir layout accessed outside internal/store" >&2
+    exit 1
+fi
+
+echo "==> kernel execution gate (query/server reach kernels via the registry only)"
+# The query tier and HTTP layer must resolve kernels through
+# internal/registry descriptors; importing internal/algos directly
+# would reopen the dispatch-by-name drift the registry closed.
+if grep -rln --include='*.go' '"gorder/internal/algos"' \
+    internal/query internal/server cmd 2>/dev/null; then
+    echo "FAIL: internal/algos imported outside the registry layer" >&2
     exit 1
 fi
 
@@ -51,6 +64,9 @@ GOMAXPROCS=1 go test -run 'TestParity' .
 
 echo "==> store cold/warm smoke (artifact persisted, then served across reopen)"
 go test -race ./internal/store/ -run 'TestStoreColdWarm' -count=1
+
+echo "==> query cold/warm smoke (cold computes, warm repeat hits the result cache)"
+go test -race ./internal/query/ -run 'TestQueryColdWarm' -count=1
 
 echo "==> ingest benchmark smoke (-benchtime=1x)"
 go test ./internal/graph/ -run='^$' -bench=. -benchtime=1x
