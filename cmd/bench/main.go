@@ -21,7 +21,7 @@ import (
 
 var experimentIDs = []string{
 	"table1", "table2", "table3", "fig1", "fig3", "fig4", "fig5", "fig6", "figs1",
-	"compress", "dial", "tlb", "cachegrid", // extension experiments (see DESIGN.md)
+	"compress", "dial", "tlb", "cachegrid", "parallel", // extension experiments (see DESIGN.md)
 }
 
 func main() {
@@ -35,6 +35,7 @@ func main() {
 		mdPath   = flag.String("md", "", "also write results as markdown to this file")
 		chart    = flag.Bool("chart", false, "render each table's last column as a bar chart")
 		jsonPath = flag.String("json", "", "also dump the raw runtime matrix as JSON to this file (matrix experiments only)")
+		parJSON  = flag.String("parallel-json", "", "write the parallel-ordering scaling report as JSON to this file (implies -exp includes parallel)")
 		list     = flag.Bool("list", false, "list experiments and datasets, then exit")
 		prIters  = flag.Int("pr-iters", 100, "PageRank iterations (paper: 100)")
 		diamSamp = flag.Int("diam-samples", 50, "Diameter SP samples (paper: 5000)")
@@ -127,6 +128,21 @@ func main() {
 	}
 	if want["cachegrid"] {
 		add(r.CacheGridTable())
+	}
+	if want["parallel"] || *parJSON != "" {
+		t, report := r.ParallelOrder()
+		add(t)
+		if *parJSON != "" {
+			data, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*parJSON, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+		}
 	}
 	if want["fig1"] {
 		add(r.Fig1Table())

@@ -40,6 +40,8 @@ func run() error {
 		hub        = flag.Int("hub", 0, "gorder hub-skip threshold (0 = exact)")
 		seed       = flag.Uint64("seed", 1, "seed for stochastic methods")
 		ldgBins    = flag.Int("ldg-bins", 0, "LDG bin count (0 = default 64)")
+		workers    = flag.Int("workers", 0, "worker bound for parallel methods (0 = GOMAXPROCS)")
+		partitions = flag.Int("partitions", 0, "gorder-partitioned partition count (0 = default)")
 		out        = flag.String("o", "", "write relabeled graph here (binary)")
 		permOut    = flag.String("perm-out", "", "write the permutation here (one new id per line)")
 		permIn     = flag.String("apply", "", "apply a saved permutation file instead of computing one")
@@ -106,6 +108,7 @@ func run() error {
 		var err error
 		perm, err = cli.ComputeOrdering(g, cli.OrderingSpec{
 			Method: *method, Window: *w, Hub: *hub, Seed: *seed, LDGBins: *ldgBins,
+			Workers: *workers, Partitions: *partitions,
 		})
 		if err != nil {
 			return err
@@ -119,6 +122,7 @@ func run() error {
 		fmt.Printf("bandwidth     %d\n", gorder.Bandwidth(g, perm))
 		fmt.Printf("linear_cost   %.0f\n", gorder.LinearCost(g, perm))
 		fmt.Printf("log_cost      %.0f\n", gorder.LogCost(g, perm))
+		fmt.Printf("packing       %.3f\n", gorder.PackingFactor(g, perm))
 	}
 	// Outputs land atomically (temp file + rename): an interrupted run
 	// never leaves a half-written permutation or graph under the target

@@ -55,11 +55,13 @@ func ReadGraphFrom(f io.ReadSeeker) (*graph.Graph, error) {
 // OrderingSpec configures ComputeOrdering. It is the flag/JSON-level
 // view of registry.Options plus the method name.
 type OrderingSpec struct {
-	Method  string // case-insensitive ordering name
-	Window  int    // gorder window (0 = default)
-	Hub     int    // gorder hub-skip threshold (0 = exact)
-	Seed    uint64 // seed for stochastic methods
-	LDGBins int    // LDG bin count (0 = registry.DefaultLDGBins)
+	Method     string // case-insensitive ordering name
+	Window     int    // gorder window (0 = default)
+	Hub        int    // gorder hub-skip threshold (0 = exact)
+	Seed       uint64 // seed for stochastic methods
+	LDGBins    int    // LDG bin count (0 = registry.DefaultLDGBins)
+	Workers    int    // parallel-method worker bound (0 = GOMAXPROCS)
+	Partitions int    // gorder-partitioned partition count (0 = default)
 }
 
 // options translates the spec into registry options.
@@ -69,6 +71,8 @@ func (s OrderingSpec) options() registry.Options {
 		HubThreshold: s.Hub,
 		Seed:         s.Seed,
 		LDGBins:      s.LDGBins,
+		Workers:      s.Workers,
+		Partitions:   s.Partitions,
 	}
 }
 

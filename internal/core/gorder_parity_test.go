@@ -90,13 +90,15 @@ func TestOrderStatsCarrier(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The parallel variant shares one carrier across its chunks.
+	// The parallel variant shares one carrier across its partitions.
+	// Every vertex is placed at least once; ghost hubs in the extended
+	// partition subgraphs account for the surplus.
 	var parSt OrderStats
 	if _, err := OrderParallelCtx(WithOrderStats(context.Background(), &parSt), g,
 		Options{}, 4); err != nil {
 		t.Fatal(err)
 	}
-	if parSt.Placements() != int64(g.NumNodes()) {
-		t.Errorf("parallel placements = %d, want %d", parSt.Placements(), g.NumNodes())
+	if parSt.Placements() < int64(g.NumNodes()) {
+		t.Errorf("parallel placements = %d, want >= %d", parSt.Placements(), g.NumNodes())
 	}
 }

@@ -2,96 +2,45 @@ package core
 
 import (
 	"context"
-	"runtime"
-	"sync"
 
 	"gorder/internal/graph"
 	"gorder/internal/order"
 )
 
-// OrderParallel computes a partition-parallel approximation of Gorder
-// — the parallel variant the papers' discussion asks for, trading a
-// little ordering quality for multi-core ordering time on graphs
-// where the sequential greedy is the bottleneck (Table 2).
+// OrderParallel is the historical entry point for multi-core Gorder,
+// folded into the partitioned path (see partitioned.go and
+// OrderPartitionedCtx, which is what the registry's
+// "gorder-partitioned" method runs). parallelism maps onto both the
+// partition count and the worker bound, preserving this function's
+// original contract: parallelism p cuts the graph into p partitions
+// and orders them on up to p goroutines.
 //
-// The graph is first cut into `parallelism` contiguous chunks of a
-// depth-first vertex sequence (so chunks already group related
-// vertices), then the exact greedy runs independently on each chunk's
-// induced subgraph, and the chunk orders are concatenated. Score
-// pairs crossing chunk boundaries are forfeited; with chunks much
-// larger than the window the loss is a small fraction of F (see
-// TestParallelQuality and BenchmarkParallelGorder).
+// Three things changed with the fold, all improvements over the old
+// DFS-chunk implementation this file used to hold:
 //
-// parallelism <= 0 selects GOMAXPROCS. parallelism == 1 degenerates
-// to running the exact greedy on a single DFS-localised chunk, which
-// equals OrderWith up to tie-breaking.
+//   - partitions come from the guide partitioner (chunks of the BOBA
+//     first-appearance sequence, which keep hub-sibling groups
+//     together, rather than DFS chains),
+//   - each partition is ordered on its ghost-extended subgraph, so
+//     sibling relations through out-of-partition hubs still score, and
+//   - partition orders are stitched by inter-partition edge weight
+//     instead of being concatenated in discovery order, so
+//     cross-partition edges tend to land between adjacent blocks.
+//
+// parallelism <= 0 selects GOMAXPROCS workers over the fixed
+// DefaultPartitions grid — the permutation no longer depends on the
+// machine's core count, at any parallelism value.
 func OrderParallel(g *graph.Graph, opt Options, parallelism int) order.Permutation {
 	p, _ := OrderParallelCtx(context.Background(), g, opt, parallelism)
 	return p
 }
 
-// OrderParallelCtx is OrderParallel with cooperative cancellation: each
-// chunk's greedy run checks ctx, and the first cancellation aborts the
-// whole computation with ctx.Err().
+// OrderParallelCtx is OrderParallel with cooperative cancellation:
+// the partitioner and each partition's greedy run check ctx, and the
+// first cancellation aborts the whole computation with ctx.Err().
 func OrderParallelCtx(ctx context.Context, g *graph.Graph, opt Options, parallelism int) (order.Permutation, error) {
-	n := g.NumNodes()
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if n == 0 {
-		return order.Permutation{}, ctx.Err()
-	}
-	if parallelism > n {
-		parallelism = n
-	}
-	// Localising pre-pass: a DFS sequence groups connected vertices,
-	// so contiguous chunks of it make meaningful partitions.
-	seq := order.ChDFS(g).Sequence()
-	chunkSize := (n + parallelism - 1) / parallelism
-
-	type chunkResult struct {
-		start   int // position offset in the final sequence
-		ordered []graph.NodeID
-	}
-	results := make([]chunkResult, 0, parallelism)
-	var mu sync.Mutex
-	var firstErr error
-	var wg sync.WaitGroup
-	for start := 0; start < n; start += chunkSize {
-		end := start + chunkSize
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(start int, members []graph.NodeID) {
-			defer wg.Done()
-			sub, toGlobal := g.InducedSubgraph(members)
-			perm, err := OrderWithCtx(ctx, sub, opt)
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
-			local := perm.Sequence()
-			ordered := make([]graph.NodeID, len(local))
-			for i, lv := range local {
-				ordered[i] = toGlobal[lv]
-			}
-			mu.Lock()
-			results = append(results, chunkResult{start, ordered})
-			mu.Unlock()
-		}(start, seq[start:end])
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	final := make([]graph.NodeID, n)
-	for _, res := range results {
-		copy(final[res.start:], res.ordered)
-	}
-	return order.FromSequence(final), nil
+	return OrderPartitionedCtx(ctx, g, opt, PartitionedOptions{
+		Workers:    parallelism,
+		Partitions: parallelism,
+	})
 }

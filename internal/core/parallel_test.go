@@ -54,12 +54,13 @@ func TestParallelQuality(t *testing.T) {
 	exact := WindowScore(g, Order(g), w)
 	rnd := WindowScore(g, order.Random(g.NumNodes(), 1), w)
 	// Quality degrades gracefully with partition count: boundary pairs
-	// (especially hub-sibling relations spanning chunks) are
-	// forfeited, and chunks shrink as parallelism grows.
+	// are forfeited and chunks shrink as parallelism grows, but the
+	// guide partitioner plus ghost hubs keep sibling relations scoring
+	// (measured: 0.98/0.96/0.92 of exact on this graph).
 	for _, tc := range []struct {
 		par      int
 		fraction float64
-	}{{2, 0.55}, {4, 0.45}, {8, 0.35}} {
+	}{{2, 0.90}, {4, 0.85}, {8, 0.80}} {
 		par := WindowScore(g, OrderParallel(g, Options{}, tc.par), w)
 		if float64(par) < tc.fraction*float64(exact) {
 			t.Errorf("parallelism %d: F=%d below %.0f%% of exact %d",
@@ -71,29 +72,37 @@ func TestParallelQuality(t *testing.T) {
 	}
 }
 
-// Every vertex of every chunk stays inside its chunk's position range
-// — partitions must not interleave.
-func TestParallelChunksContiguous(t *testing.T) {
+// Every partition occupies one contiguous block of the final position
+// space — partitions are stitched whole, never interleaved.
+func TestParallelPartitionsContiguous(t *testing.T) {
 	g := gen.BarabasiAlbert(500, 4, 9)
 	const par = 5
 	perm := OrderParallel(g, Options{}, par)
 	seq := perm.Sequence()
-	chunk := (len(seq) + par - 1) / par
-	// Recompute the pre-pass partition and check membership per range.
-	pre := order.ChDFS(g).Sequence()
-	for c := 0; c*chunk < len(seq); c++ {
-		lo, hi := c*chunk, (c+1)*chunk
-		if hi > len(seq) {
-			hi = len(seq)
+	// Recompute the default (guide) partition and check that the
+	// stitched sequence is a concatenation of the partitions, each
+	// block holding exactly one partition's members.
+	parts := order.ChunkPartition(order.BOBA(g).Sequence(), par)
+	memberOf := make([]int, g.NumNodes())
+	for i, members := range parts {
+		for _, v := range members {
+			memberOf[v] = i
 		}
-		want := map[uint32]bool{}
-		for _, v := range pre[lo:hi] {
-			want[v] = true
+	}
+	pos := 0
+	seen := make([]bool, len(parts))
+	for pos < len(seq) {
+		p := memberOf[seq[pos]]
+		if seen[p] {
+			t.Fatalf("partition %d appears in two separate blocks (position %d)", p, pos)
 		}
-		for _, v := range seq[lo:hi] {
-			if !want[v] {
-				t.Fatalf("chunk %d contains foreign vertex %d", c, v)
+		seen[p] = true
+		for i := 0; i < len(parts[p]); i++ {
+			if got := memberOf[seq[pos]]; got != p {
+				t.Fatalf("position %d holds vertex of partition %d inside partition %d's block",
+					pos, got, p)
 			}
+			pos++
 		}
 	}
 }

@@ -132,3 +132,87 @@ func TestQuickScoreMonotoneInWindow(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// packingTestGraph has exactly four hot vertices (0..3, in-degree 9)
+// among 64 vertices whose baseline in-degree is 1: m = 96, average
+// in-degree 1.5, so hot means in-degree > 1.5.
+func packingTestGraph() *graph.Graph {
+	var edges []graph.Edge
+	for v := 0; v < 64; v++ {
+		edges = append(edges, graph.Edge{From: graph.NodeID((v + 1) % 64), To: graph.NodeID(v)})
+	}
+	for h := 0; h < 4; h++ {
+		for s := 10; s < 18; s++ {
+			edges = append(edges, graph.Edge{From: graph.NodeID(s), To: graph.NodeID(h)})
+		}
+	}
+	return graph.FromEdges(64, edges)
+}
+
+func TestPackingFactorHandComputed(t *testing.T) {
+	g := packingTestGraph()
+	// Identity: hot vertices 0..3 share cache block 0 → 4 hot vertices
+	// in 1 hot block.
+	if got := PackingFactor(g, Identity(64)); got != 4 {
+		t.Errorf("identity packing factor = %v, want 4", got)
+	}
+	// Spread: one hot vertex per block (positions 0, 16, 32, 48) → 4
+	// hot vertices in 4 hot blocks.
+	spread := make(Permutation, 64)
+	taken := make([]bool, 64)
+	for h := 0; h < 4; h++ {
+		spread[h] = uint32(16 * h)
+		taken[16*h] = true
+	}
+	next := 0
+	for v := 4; v < 64; v++ {
+		for taken[next] {
+			next++
+		}
+		spread[v] = uint32(next)
+		taken[next] = true
+	}
+	if got := PackingFactor(g, spread); got != 1 {
+		t.Errorf("spread packing factor = %v, want 1", got)
+	}
+}
+
+func TestPackingFactorHubClusterMaximal(t *testing.T) {
+	// HubCluster packs the hot set contiguously from position 0, which
+	// achieves the best possible packing factor for the graph.
+	g := packingTestGraph()
+	got := PackingFactor(g, HubCluster(g))
+	if got != 4 { // 4 hot vertices fit one block
+		t.Errorf("HubCluster packing factor = %v, want 4", got)
+	}
+}
+
+func TestPackingFactorEdgeCases(t *testing.T) {
+	if got := PackingFactor(graph.FromEdges(0, nil), Permutation{}); got != 0 {
+		t.Errorf("empty graph = %v, want 0", got)
+	}
+	// Uniform in-degree: no vertex is strictly above average → 0.
+	ring := make([]graph.Edge, 8)
+	for v := 0; v < 8; v++ {
+		ring[v] = graph.Edge{From: graph.NodeID(v), To: graph.NodeID((v + 1) % 8)}
+	}
+	if got := PackingFactor(graph.FromEdges(8, ring), Identity(8)); got != 0 {
+		t.Errorf("uniform graph = %v, want 0", got)
+	}
+}
+
+func TestQuickPackingFactorBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		g := randGraph(rng, n, rng.Intn(5*n))
+		pf := PackingFactor(g, Random(n, uint64(seed)))
+		if pf == 0 {
+			return true // no hot vertices
+		}
+		return pf >= 1 && pf <= CacheBlockEntries
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,41 +1,41 @@
 package order
 
 import (
-	"sort"
+	"context"
 
 	"gorder/internal/graph"
 )
 
 // Hub-aware lightweight orderings from the follow-up literature the
 // replication cites (Balaji & Lucia, "When is Graph Reordering an
-// Optimization?", IISWC 2018; Faldu et al.'s HubSort/HubCluster
-// family). They cost a single pass plus a sort of the hot vertices,
-// and our wall-clock experiments (EXPERIMENTS.md, "host effect") show
-// why they matter: clustering the hot vertices captures much of the
-// benefit of a full reordering at a fraction of the ordering cost.
+// Optimization?", IISWC 2018; Faldu et al.'s HubSort/HubCluster/DBG
+// family, arXiv 2001.08448). They cost a single pass plus (for
+// HubSort) a sort of the hot vertices, and our wall-clock experiments
+// (EXPERIMENTS.md, "host effect") show why they matter: clustering
+// the hot vertices captures much of the benefit of a full reordering
+// at a fraction of the ordering cost.
+//
+// The implementations live in parallel.go: each one runs as a
+// parallel bucket fill over a fixed chunk grid, so the *Ctx variants
+// take a worker count and a context while these wrappers keep the
+// original serial signatures. The permutation is identical at any
+// worker count.
 
 // HubSort places the hot vertices (in-degree above average) first,
 // sorted by descending in-degree, and keeps every cold vertex after
 // them in original order — preserving whatever locality the original
 // order had among the cold majority.
 func HubSort(g *graph.Graph) Permutation {
-	n := g.NumNodes()
-	if n == 0 {
-		return Permutation{}
-	}
-	avg := float64(g.NumEdges()) / float64(n)
-	var hot, cold []graph.NodeID
-	for v := 0; v < n; v++ {
-		if float64(g.InDegree(graph.NodeID(v))) > avg {
-			hot = append(hot, graph.NodeID(v))
-		} else {
-			cold = append(cold, graph.NodeID(v))
-		}
-	}
-	sort.SliceStable(hot, func(a, b int) bool {
-		return g.InDegree(hot[a]) > g.InDegree(hot[b])
-	})
-	return FromSequence(append(hot, cold...))
+	p, _ := HubSortCtx(context.Background(), g, 0)
+	return p
+}
+
+// HubCluster moves the hot vertices to the front *without sorting
+// them* — hot and cold blocks both keep original relative order. See
+// HubClusterCtx.
+func HubCluster(g *graph.Graph) Permutation {
+	p, _ := HubClusterCtx(context.Background(), g, 0)
+	return p
 }
 
 // DBG computes Degree-Based Grouping: vertices are binned into
@@ -45,36 +45,6 @@ func HubSort(g *graph.Graph) Permutation {
 // similar degree, so it preserves intra-class locality — the property
 // Balaji & Lucia identify as the reason DBG is hard to beat.
 func DBG(g *graph.Graph) Permutation {
-	n := g.NumNodes()
-	if n == 0 {
-		return Permutation{}
-	}
-	avg := float64(g.NumEdges()) / float64(n)
-	if avg < 1 {
-		avg = 1
-	}
-	// Class 0: deg > 32·avg; class 1: > 16·avg; ... class 6: > avg/2;
-	// class 7: the rest. Thresholds follow the DBG paper's geometric
-	// spacing.
-	thresholds := []float64{32 * avg, 16 * avg, 8 * avg, 4 * avg, 2 * avg, avg, avg / 2}
-	classes := make([][]graph.NodeID, len(thresholds)+1)
-	for v := 0; v < n; v++ {
-		d := float64(g.InDegree(graph.NodeID(v)))
-		placed := false
-		for c, th := range thresholds {
-			if d > th {
-				classes[c] = append(classes[c], graph.NodeID(v))
-				placed = true
-				break
-			}
-		}
-		if !placed {
-			classes[len(thresholds)] = append(classes[len(thresholds)], graph.NodeID(v))
-		}
-	}
-	seq := make([]graph.NodeID, 0, n)
-	for _, class := range classes {
-		seq = append(seq, class...)
-	}
-	return FromSequence(seq)
+	p, _ := DBGCtx(context.Background(), g, 0)
+	return p
 }

@@ -1,0 +1,125 @@
+package order
+
+import (
+	"context"
+
+	"gorder/internal/graph"
+)
+
+// Graph partitioners for the partition-parallel Gorder in
+// internal/core. Both return k disjoint vertex sets covering the
+// graph; the partitioned greedy orders each set independently and
+// stitches the per-partition orders by inter-partition edge weight.
+// Both are deterministic functions of (g, k) — they never depend on
+// worker counts — which is what makes the partitioned ordering
+// reproducible on any machine.
+
+// bfsCancelInterval is how many BFS pops separate context checks.
+const bfsCancelInterval = 4096
+
+// BFSPartition cuts the graph into k near-equal contiguous chunks of
+// a breadth-first visit sequence. BFS groups vertices by hop distance
+// — neighbours land near each other in the sequence — so contiguous
+// chunks of it make meaningful locality-preserving partitions at
+// O(n+m) cost (the same rationale as RCM's traversal, without the
+// degree sorting). The traversal explores out- then in-neighbours in
+// ascending ID order and restarts from the lowest unvisited vertex,
+// so the partition is deterministic. k is clamped to [1, n].
+func BFSPartition(ctx context.Context, g *graph.Graph, k int) ([][]graph.NodeID, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, ctx.Err()
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	seq := make([]graph.NodeID, 0, n)
+	visited := make([]bool, n)
+	queue := make([]graph.NodeID, 0, n)
+	for s := 0; s < n; s++ {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		queue = append(queue[:0], graph.NodeID(s))
+		for head := 0; head < len(queue); head++ {
+			if len(seq)%bfsCancelInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			v := queue[head]
+			seq = append(seq, v)
+			for _, w := range g.OutNeighbors(v) {
+				if !visited[w] {
+					visited[w] = true
+					queue = append(queue, w)
+				}
+			}
+			for _, w := range g.InNeighbors(v) {
+				if !visited[w] {
+					visited[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return ChunkPartition(seq, k), nil
+}
+
+// ChunkPartition cuts a vertex sequence into k near-equal contiguous
+// chunks — the shared tail of every sequence-guided partitioner (BFS
+// visit order, BOBA first-appearance order, …). Empty chunks are
+// skipped, so at most min(k, len(seq)) partitions return.
+func ChunkPartition(seq []graph.NodeID, k int) [][]graph.NodeID {
+	n := len(seq)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	parts := make([][]graph.NodeID, 0, k)
+	for c := 0; c < k; c++ {
+		lo, hi := c*n/k, (c+1)*n/k
+		if lo == hi {
+			continue
+		}
+		parts = append(parts, seq[lo:hi:hi])
+	}
+	return parts
+}
+
+// LDGPartition streams the vertices through the Linear Deterministic
+// Greedy placement with bin capacity ceil(n/k) and returns the bins
+// as partitions — the same edge-locality greedy the LDG *ordering*
+// uses, repurposed as a partitioner. Costlier than BFSPartition (it
+// scores every vertex against its neighbours' bins) but cuts fewer
+// edges on clustered graphs. Empty bins are dropped, so fewer than k
+// partitions may return. k is clamped to [1, n].
+func LDGPartition(ctx context.Context, g *graph.Graph, k int) ([][]graph.NodeID, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	bins := ldgBins(g, (n+k-1)/k)
+	parts := make([][]graph.NodeID, 0, len(bins))
+	for _, b := range bins {
+		if len(b) > 0 {
+			parts = append(parts, b)
+		}
+	}
+	return parts, nil
+}

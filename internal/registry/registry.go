@@ -45,12 +45,23 @@ const DefaultLDGBins = 64
 type Options struct {
 	// Window is the Gorder window size w (0 = core.DefaultWindow).
 	Window int
-	// HubThreshold is the Gorder hub-skip threshold (0 = exact scores).
+	// HubThreshold is the Gorder hub-skip threshold (0 = exact scores
+	// for Gorder; for Gorder-Partitioned, 0 = the partitioned default
+	// and negative forces exact scores).
 	HubThreshold int
 	// Seed drives the stochastic methods (Random, MinLA, MinLogA).
 	Seed uint64
 	// LDGBins is the LDG bin capacity (0 = DefaultLDGBins).
 	LDGBins int
+	// Workers bounds the goroutines of the parallel methods (BOBA,
+	// DBG, HubSort, HubCluster, Gorder-Partitioned); <= 0 selects
+	// GOMAXPROCS. Pure scheduling: it never changes the permutation,
+	// so CanonicalOptions drops it and artifact caches ignore it.
+	Workers int
+	// Partitions is the Gorder-Partitioned partition count
+	// (0 = core.DefaultPartitions). Unlike Workers it is part of the
+	// result and therefore of the cache key.
+	Partitions int
 }
 
 func (o Options) ldgBins() int {
@@ -58,6 +69,13 @@ func (o Options) ldgBins() int {
 		return DefaultLDGBins
 	}
 	return o.LDGBins
+}
+
+func (o Options) partitions() int {
+	if o.Partitions <= 0 {
+		return core.DefaultPartitions
+	}
+	return o.Partitions
 }
 
 func (o Options) gorder() core.Options {
@@ -69,10 +87,12 @@ type OptionField string
 
 // The Options fields a method can consume.
 const (
-	OptWindow  OptionField = "window"
-	OptHub     OptionField = "hub"
-	OptSeed    OptionField = "seed"
-	OptLDGBins OptionField = "ldg_bins"
+	OptWindow     OptionField = "window"
+	OptHub        OptionField = "hub"
+	OptSeed       OptionField = "seed"
+	OptLDGBins    OptionField = "ldg_bins"
+	OptWorkers    OptionField = "workers"
+	OptPartitions OptionField = "partitions"
 )
 
 // CanonicalOptions normalizes o for the named ordering: fields the
@@ -80,6 +100,12 @@ const (
 // their zero value are replaced by the documented default. Every
 // spelling of the same effective parameters therefore maps to one
 // Options value — the property artifact caches key on.
+//
+// OptWorkers is special: the parallel methods consume it for
+// scheduling, but every worker count produces the bit-identical
+// permutation (pinned by their determinism tests), so the canonical
+// form always carries Workers == 0 and cached artifacts are shared
+// across worker spellings.
 func CanonicalOptions(name string, o Options) (Options, error) {
 	desc, ok := Lookup(name)
 	if !ok {
@@ -100,6 +126,10 @@ func CanonicalOptions(name string, o Options) (Options, error) {
 			c.Seed = o.Seed
 		case OptLDGBins:
 			c.LDGBins = o.ldgBins()
+		case OptWorkers:
+			// Scheduling only — canonically zero; see above.
+		case OptPartitions:
+			c.Partitions = o.partitions()
 		}
 	}
 	return c, nil
@@ -116,8 +146,9 @@ func OptionsKey(name string, o Options) (Options, string, error) {
 		return Options{}, "", err
 	}
 	desc, _ := Lookup(name)
-	enc := fmt.Sprintf("%s|w=%d|h=%d|s=%d|b=%d",
-		strings.ToLower(desc.Name), c.Window, c.HubThreshold, c.Seed, c.LDGBins)
+	// Workers is intentionally absent: it never changes the permutation.
+	enc := fmt.Sprintf("%s|w=%d|h=%d|s=%d|b=%d|p=%d",
+		strings.ToLower(desc.Name), c.Window, c.HubThreshold, c.Seed, c.LDGBins, c.Partitions)
 	sum := sha256.Sum256([]byte(enc))
 	return c, hex.EncodeToString(sum[:4]), nil
 }
@@ -185,16 +216,24 @@ func startChecked(f func(g *graph.Graph, opt Options) order.Permutation) Compute
 // name-to-implementation decision happens by lookup into this slice.
 var orderings = []Ordering{
 	{
+		Name: "BOBA", Cancellable: true, Cost: CostCheap,
+		Consumes: []OptionField{OptWorkers},
+		Compute: func(ctx context.Context, g *graph.Graph, opt Options) (order.Permutation, error) {
+			return order.BOBACtx(ctx, g, opt.Workers)
+		},
+	},
+	{
 		Name: "ChDFS", Cost: CostCheap,
 		Compute: startChecked(func(g *graph.Graph, _ Options) order.Permutation {
 			return order.ChDFS(g)
 		}),
 	},
 	{
-		Name: "DBG", Cost: CostCheap,
-		Compute: startChecked(func(g *graph.Graph, _ Options) order.Permutation {
-			return order.DBG(g)
-		}),
+		Name: "DBG", Cancellable: true, Cost: CostCheap,
+		Consumes: []OptionField{OptWorkers},
+		Compute: func(ctx context.Context, g *graph.Graph, opt Options) (order.Permutation, error) {
+			return order.DBGCtx(ctx, g, opt.Workers)
+		},
 	},
 	{
 		Name: GorderName, Cancellable: true, Cost: CostExpensive,
@@ -204,17 +243,32 @@ var orderings = []Ordering{
 		},
 	},
 	{
-		Name: "Gorder-Parallel", Cancellable: true, Cost: CostExpensive,
-		Consumes: []OptionField{OptWindow, OptHub},
+		// The partition-parallel Gorder; "gorder-parallel" survives as
+		// an alias from when the chunk-parallel variant was a separate
+		// catalog entry.
+		Name: "Gorder-Partitioned", Aliases: []string{"gorder-parallel"},
+		Cancellable: true, Cost: CostExpensive,
+		Consumes: []OptionField{OptWindow, OptHub, OptWorkers, OptPartitions},
 		Compute: func(ctx context.Context, g *graph.Graph, opt Options) (order.Permutation, error) {
-			return core.OrderParallelCtx(ctx, g, opt.gorder(), 0)
+			return core.OrderPartitionedCtx(ctx, g, opt.gorder(), core.PartitionedOptions{
+				Workers:    opt.Workers,
+				Partitions: opt.partitions(),
+			})
 		},
 	},
 	{
-		Name: "HubSort", Cost: CostCheap,
-		Compute: startChecked(func(g *graph.Graph, _ Options) order.Permutation {
-			return order.HubSort(g)
-		}),
+		Name: "HubCluster", Cancellable: true, Cost: CostCheap,
+		Consumes: []OptionField{OptWorkers},
+		Compute: func(ctx context.Context, g *graph.Graph, opt Options) (order.Permutation, error) {
+			return order.HubClusterCtx(ctx, g, opt.Workers)
+		},
+	},
+	{
+		Name: "HubSort", Cancellable: true, Cost: CostCheap,
+		Consumes: []OptionField{OptWorkers},
+		Compute: func(ctx context.Context, g *graph.Graph, opt Options) (order.Permutation, error) {
+			return order.HubSortCtx(ctx, g, opt.Workers)
+		},
 	},
 	{
 		Name: "InDegSort", Cost: CostCheap,

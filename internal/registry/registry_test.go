@@ -277,3 +277,104 @@ func TestStochasticConsumesSeed(t *testing.T) {
 		}
 	}
 }
+
+// TestWorkersNeverInKey pins the Workers contract: the parallel
+// methods consume Workers for scheduling, but every spelling of the
+// worker count — including the GOMAXPROCS default — must map to the
+// same canonical options and the same artifact cache key, because the
+// permutation is worker-independent.
+func TestWorkersNeverInKey(t *testing.T) {
+	for _, name := range []string{"boba", "dbg", "hubsort", "hubcluster", "gorder-partitioned"} {
+		base, kBase, err := OptionsKey(name, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Workers != 0 {
+			t.Errorf("%s: canonical workers = %d, want 0", name, base.Workers)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			c, k, err := OptionsKey(name, Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c != base || k != kBase {
+				t.Errorf("%s: workers=%d split the cache key (%+v %s vs %+v %s)",
+					name, workers, c, k, base, kBase)
+			}
+		}
+	}
+}
+
+// TestPartitionedOptionsKey pins Gorder-Partitioned's key semantics:
+// partition count is part of the result (distinct keys), the zero
+// value canonicalises to the default, and the gorder-parallel alias
+// shares the canonical entry's keys.
+func TestPartitionedOptionsKey(t *testing.T) {
+	key := func(o Options) string {
+		t.Helper()
+		_, k, err := OptionsKey("gorder-partitioned", o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	c, _, err := OptionsKey("gorder-partitioned", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Partitions != core.DefaultPartitions {
+		t.Errorf("canonical partitions = %d, want %d", c.Partitions, core.DefaultPartitions)
+	}
+	if key(Options{}) != key(Options{Partitions: core.DefaultPartitions, Workers: 8, Seed: 3}) {
+		t.Error("equivalent partitioned spellings got different keys")
+	}
+	if key(Options{Partitions: 4}) == key(Options{Partitions: 8}) {
+		t.Error("different partition counts share a key")
+	}
+	if key(Options{}) == mustKey(t, "gorder", Options{}) {
+		t.Error("gorder-partitioned and gorder share a key")
+	}
+	_, aliasKey, err := OptionsKey("gorder-parallel", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aliasKey != key(Options{}) {
+		t.Error("gorder-parallel alias does not share gorder-partitioned's key")
+	}
+}
+
+func mustKey(t *testing.T, name string, o Options) string {
+	t.Helper()
+	_, k, err := OptionsKey(name, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestParallelFamilyCapabilities pins the capability metadata of the
+// lightweight parallel reordering family.
+func TestParallelFamilyCapabilities(t *testing.T) {
+	for _, name := range []string{"BOBA", "DBG", "HubSort", "HubCluster"} {
+		desc, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("%s missing from catalog", name)
+		}
+		if !desc.Cancellable {
+			t.Errorf("%s: not marked Cancellable", name)
+		}
+		if desc.Cost != CostCheap {
+			t.Errorf("%s: cost = %s, want %s", name, desc.Cost, CostCheap)
+		}
+		if desc.Stochastic {
+			t.Errorf("%s: marked stochastic", name)
+		}
+	}
+	desc, ok := Lookup("gorder-partitioned")
+	if !ok {
+		t.Fatal("gorder-partitioned missing from catalog")
+	}
+	if !desc.Cancellable || desc.Cost != CostExpensive {
+		t.Errorf("gorder-partitioned capabilities wrong: %+v", desc)
+	}
+}

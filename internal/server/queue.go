@@ -43,6 +43,13 @@ type JobRequest struct {
 	Seed   uint64 `json:"seed,omitempty"`   // seed for stochastic methods
 	// LDGBins sets the LDG bin count (0 = the default 64).
 	LDGBins int `json:"ldg_bins,omitempty"`
+	// Workers bounds the worker goroutines of parallel methods
+	// (0 = GOMAXPROCS). Scheduling only: it never changes the
+	// permutation, so the artifact cache ignores it.
+	Workers int `json:"workers,omitempty"`
+	// Partitions sets the gorder-partitioned partition count
+	// (0 = the default).
+	Partitions int `json:"partitions,omitempty"`
 	// OfJob points an eval job at a completed order job whose
 	// permutation it should score; empty scores the identity ordering.
 	OfJob string `json:"of_job,omitempty"`

@@ -463,6 +463,7 @@ func (s *Server) execute(ctx context.Context, req JobRequest, found func(order.P
 	case KindOrder:
 		opts := registry.Options{
 			Window: req.Window, HubThreshold: req.Hub, Seed: req.Seed, LDGBins: req.LDGBins,
+			Workers: req.Workers, Partitions: req.Partitions,
 		}
 		// The artifact cache keys on graph digest + canonical method +
 		// canonicalized options, so every spelling of the same job maps

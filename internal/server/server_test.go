@@ -620,6 +620,62 @@ func TestStoreBackedServerArtifactCache(t *testing.T) {
 	_ = s
 }
 
+// TestPartitionedJobWorkersCacheKey: the job API accepts the parallel
+// family with a workers field, and — because workers is pure
+// scheduling — jobs that differ only in workers map to one cached
+// artifact.
+func TestPartitionedJobWorkersCacheKey(t *testing.T) {
+	_, ts := newStoreServer(t, t.TempDir(), 0)
+	postGraph(t, ts, "web", edgeListBytes(t, gen.Web(800, gen.DefaultWeb, 21)))
+
+	st1 := waitJob(t, ts, postJob(t, ts, JobRequest{
+		Kind: KindOrder, Graph: "web", Method: "gorder-partitioned", Workers: 4,
+	}).ID)
+	if st1.State != StateDone {
+		t.Fatalf("partitioned job ended %s (%s)", st1.State, st1.Error)
+	}
+	if st1.Metrics["cache_hit"] != 0 {
+		t.Fatal("first partitioned job reported a cache hit on an empty store")
+	}
+
+	// Same ordering, different worker bound: must be served from the
+	// artifact store because the permutation cannot differ.
+	st2 := waitJob(t, ts, postJob(t, ts, JobRequest{
+		Kind: KindOrder, Graph: "web", Method: "gorder-partitioned", Workers: 1,
+	}).ID)
+	if st2.State != StateDone {
+		t.Fatalf("repeat partitioned job ended %s (%s)", st2.State, st2.Error)
+	}
+	if st2.Metrics["cache_hit"] != 1 {
+		t.Fatalf("workers=1 repeat metrics = %v, want cache_hit", st2.Metrics)
+	}
+	if st2.Metrics["score_F"] != st1.Metrics["score_F"] {
+		t.Fatalf("cached score_F %v != computed %v", st2.Metrics["score_F"], st1.Metrics["score_F"])
+	}
+
+	// A different partition count is a different artifact.
+	st3 := waitJob(t, ts, postJob(t, ts, JobRequest{
+		Kind: KindOrder, Graph: "web", Method: "gorder-partitioned", Partitions: 4,
+	}).ID)
+	if st3.State != StateDone {
+		t.Fatalf("partitions=4 job ended %s (%s)", st3.State, st3.Error)
+	}
+	if st3.Metrics["cache_hit"] != 0 {
+		t.Fatal("partitions=4 job hit the partitions=default artifact")
+	}
+
+	// The lightweight parallel orderings are reachable through the job
+	// API with a worker bound too.
+	for _, m := range []string{"boba", "hubcluster", "dbg"} {
+		st := waitJob(t, ts, postJob(t, ts, JobRequest{
+			Kind: KindOrder, Graph: "web", Method: m, Workers: 2,
+		}).ID)
+		if st.State != StateDone {
+			t.Fatalf("%s job ended %s (%s)", m, st.State, st.Error)
+		}
+	}
+}
+
 // TestGreedyWorkMetrics: a Gorder job reports its priority-queue op
 // and placement counts through the core.OrderStats context carrier,
 // the registry observation carries them, and /metrics aggregates them

@@ -61,6 +61,35 @@ func TestParityFacadeKernelConstants(t *testing.T) {
 	}
 }
 
+// TestParityParallelFamilyNames pins the parallel-ordering family in
+// the registry catalog: the lightweight reorderings and the
+// partition-parallel Gorder must stay resolvable under these names
+// (and the historical gorder-parallel alias), all cancellable and
+// worker-aware.
+func TestParityParallelFamilyNames(t *testing.T) {
+	for _, name := range []string{
+		"boba", "dbg", "hubsort", "hubcluster", "gorder-partitioned", "gorder-parallel",
+	} {
+		desc, ok := registry.Lookup(name)
+		if !ok {
+			t.Errorf("registry.Lookup(%q): not found", name)
+			continue
+		}
+		if !desc.Cancellable {
+			t.Errorf("%s (%s) is not cancellable", name, desc.Name)
+		}
+		consumesWorkers := false
+		for _, f := range desc.Consumes {
+			if f == registry.OptWorkers {
+				consumesWorkers = true
+			}
+		}
+		if !consumesWorkers {
+			t.Errorf("%s (%s) does not consume the workers option", name, desc.Name)
+		}
+	}
+}
+
 func TestParityServerAdvertisedMethods(t *testing.T) {
 	s := server.New(server.Config{})
 	ts := httptest.NewServer(s.Handler())

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Runs the parallel-ordering scaling experiment (exact Gorder vs
+# gorder-partitioned at 1/2/4/8 workers vs BOBA on the 1M-edge web
+# workload) and records the result as BENCH_parallel_order.json at the
+# repo root.
+#
+#   REPS=5 scripts/bench_parallel_order.sh      # more repetitions
+#   SCALE=0.1 scripts/bench_parallel_order.sh   # smaller workload
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/bench -exp parallel \
+	-reps "${REPS:-3}" -scale "${SCALE:-1.0}" -v \
+	-parallel-json BENCH_parallel_order.json
+
+echo "wrote BENCH_parallel_order.json"

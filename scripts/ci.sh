@@ -58,9 +58,17 @@ go test -race ./...
 echo "==> greedy parity under race (optimized loop == seed reference, bit for bit)"
 go test -race -run 'TestOrderOptimizedMatchesReference' -count=1 ./internal/core/
 
+echo "==> parallel ordering smoke under race (boba + gorder-partitioned, workers=4, mid-size web graph)"
+go test -race -count=1 -run 'TestParallelSmokeMidSize' ./internal/core/
+
 echo "==> GOMAXPROCS=1 go test (serial ingest fallback + registry parity)"
 GOMAXPROCS=1 go test ./internal/graph/ ./internal/cli/ ./internal/server/ ./internal/registry/
 GOMAXPROCS=1 go test -run 'TestParity' .
+
+echo "==> GOMAXPROCS=1 parallel determinism pass (worker- and GOMAXPROCS-independent permutations)"
+GOMAXPROCS=1 go test -count=1 \
+    -run 'TestParallelOrderingsDeterministic|TestPartitionedWorkerIndependent|TestPartitionedGOMAXPROCSIndependent' \
+    ./internal/order/ ./internal/core/
 
 echo "==> store cold/warm smoke (artifact persisted, then served across reopen)"
 go test -race ./internal/store/ -run 'TestStoreColdWarm' -count=1
