@@ -192,7 +192,10 @@ func TestIncrementalViaFacade(t *testing.T) {
 		edges = append(edges, gorder.Edge{From: v, To: v % 500})
 	}
 	g2 := gorder.FromEdgesDedup(600, edges)
-	p := gorder.OrderIncremental(g2, base, gorder.Options{})
+	p, err := gorder.OrderIncremental(g2, base, gorder.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
 	}

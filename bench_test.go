@@ -288,7 +288,9 @@ func BenchmarkIncrementalVsFull(b *testing.B) {
 	g2 := gorder.FromEdgesDedup(22000, edges)
 	b.Run("incremental", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			gorder.OrderIncremental(g2, base, gorder.Options{})
+			if _, err := gorder.OrderIncremental(g2, base, gorder.Options{}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("full-recompute", func(b *testing.B) {

@@ -5,11 +5,20 @@
 //	gorder -i wiki.graph -method rcm -perm-out wiki.rcm.perm -eval
 //	gorder -i wiki.graph -apply wiki.rcm.perm -o wiki-rcm.graph
 //
+// When the graph has grown since an ordering was computed, -base
+// extends the saved permutation incrementally instead of recomputing:
+// old vertices keep their positions and new vertices are placed
+// greedily after them. -dirty-from N additionally re-places every
+// vertex with id >= N jointly with the new ones (a suffix repair).
+//
+//	gorder -i wiki-v2.graph -base wiki.perm -perm-out wiki-v2.perm -eval
+//
 // Run with -list for the full catalog of methods and their
 // capabilities, or -h for flag help.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +54,8 @@ func run() error {
 		out        = flag.String("o", "", "write relabeled graph here (binary)")
 		permOut    = flag.String("perm-out", "", "write the permutation here (one new id per line)")
 		permIn     = flag.String("apply", "", "apply a saved permutation file instead of computing one")
+		baseIn     = flag.String("base", "", "extend a saved gorder permutation incrementally to the (grown) input graph")
+		dirtyFrom  = flag.Int("dirty-from", -1, "with -base: also re-place vertices with id >= N (-1 = only new vertices)")
 		eval       = flag.Bool("eval", false, "print ordering quality metrics")
 		list       = flag.Bool("list", false, "list the ordering catalog and exit")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile here (pprof format)")
@@ -90,7 +101,34 @@ func run() error {
 		return err
 	}
 	var perm gorder.Permutation
-	if *permIn != "" {
+	if *baseIn != "" {
+		if *permIn != "" {
+			return fmt.Errorf("-base and -apply are mutually exclusive")
+		}
+		f, err := os.Open(*baseIn)
+		if err != nil {
+			return err
+		}
+		base, err := gorder.ReadPermutation(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		var dirty []gorder.NodeID
+		if *dirtyFrom >= 0 {
+			for v := *dirtyFrom; v < len(base); v++ {
+				dirty = append(dirty, gorder.NodeID(v))
+			}
+		}
+		start := time.Now()
+		perm, err = gorder.OrderIncrementalCtx(context.Background(), g, base,
+			dirty, gorder.Options{Window: *w, HubThreshold: *hub})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "extended base ordering of %d vertices to %d (re-placed %d) in %s\n",
+			len(base), g.NumNodes(), g.NumNodes()-len(base)+len(dirty), time.Since(start))
+	} else if *permIn != "" {
 		f, err := os.Open(*permIn)
 		if err != nil {
 			return err

@@ -7,8 +7,11 @@
 //
 //	POST /graphs?name=web          upload a graph (binary CSR or edge list)
 //	GET  /graphs                   list registered graphs
-//	GET  /graphs/{id}              one graph's stats
+//	GET  /graphs/{id}              one graph's stats (also name, name@vN, name@latest)
+//	POST /graphs/{name}/edges      apply an edit batch {"add_nodes","add","del"}; builds the next version
+//	GET  /graphs/{name}/lineage    list a graph's versions and ordering-quality record
 //	POST /jobs                     submit {"kind":"order","graph":"web","method":"gorder"}
+//	                               or {"kind":"repair","graph":"web"} to repair a decayed ordering
 //	GET  /jobs                     list jobs
 //	GET  /jobs/{id}                poll a job (queued/running/done/failed/canceled)
 //	GET  /jobs/{id}/permutation    download a done order job's permutation
@@ -34,6 +37,16 @@
 // artifact cache without recomputation. -mem-budget bounds how many
 // graph bytes stay resident in memory; least-recently-used graphs are
 // evicted and transparently reloaded from disk when next needed.
+//
+// With a store, uploaded graphs become version 1 of a lineage and each
+// edit batch appends the next version; a bare name (or name@latest)
+// always resolves to the tip, so queries never see a stale graph, and
+// name@vN pins an old version. Ordering artifacts are carried forward
+// across versions incrementally and their quality F(pi) is tracked
+// against the baseline; when the decay ratio falls below
+// -decay-threshold a repair job is enqueued automatically (suffix
+// re-placement, or a full recompute below -repair-full-below or after
+// -max-repairs consecutive repairs).
 package main
 
 import (
@@ -68,6 +81,10 @@ func main() {
 		queryConc = flag.Int("query-concurrency", 0, "concurrent kernel queries (0 = 8); independent of -workers")
 		queryTO   = flag.Duration("query-timeout", 30*time.Second, "default per-query deadline")
 		queryCach = flag.Int64("query-cache", 0, "byte budget for the in-memory query result cache (0 = 64 MiB)")
+		decayThr  = flag.Float64("decay-threshold", 0, "enqueue a repair when an ordering's quality decays below this ratio (0 = 0.93)")
+		fullBelow = flag.Float64("repair-full-below", 0, "repair by full recompute when decay is below this ratio (0 = 0.85)")
+		maxRep    = flag.Int("max-repairs", 0, "suffix repairs between full recomputes (0 = 3)")
+		noRepair  = flag.Bool("no-auto-repair", false, "track ordering decay but never enqueue repair jobs automatically")
 		verbose   = flag.Bool("v", false, "debug logging")
 	)
 	flag.Parse()
@@ -105,6 +122,10 @@ func main() {
 		QueryConcurrency:  *queryConc,
 		QueryTimeout:      *queryTO,
 		QueryResultBudget: *queryCach,
+		DecayThreshold:    *decayThr,
+		RepairFullBelow:   *fullBelow,
+		MaxRepairs:        *maxRep,
+		DisableAutoRepair: *noRepair,
 	})
 
 	if *dataDir != "" {

@@ -75,7 +75,10 @@ func ExampleOrderIncremental() {
 	edges = append(edges, gorder.Edge{From: 200, To: 0})
 	grown := gorder.FromEdgesDedup(201, edges)
 
-	perm := gorder.OrderIncremental(grown, base, gorder.Options{})
+	perm, err := gorder.OrderIncremental(grown, base, gorder.Options{})
+	if err != nil {
+		panic(err)
+	}
 	stable := true
 	for u := 0; u < 200; u++ {
 		stable = stable && perm[u] == base[u]

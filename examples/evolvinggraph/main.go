@@ -1,77 +1,140 @@
-// Evolvinggraph: keep a growing social network's vertex order
-// cache-friendly without re-running the full Gorder computation on
-// every batch of new users — the evolving-graph scenario the papers'
-// discussion sections raise.
+// Evolvinggraph: keep a growing, churning social network's vertex
+// order cache-friendly without re-running the full Gorder computation
+// on every batch of changes — the evolving-graph scenario the papers'
+// discussion sections raise, and the lifecycle gorderd automates
+// behind POST /graphs/{name}/edges.
 //
-//	go run ./examples/evolvinggraph
+// Each "day" some users join, follow others, and unfollow a few. The
+// batch is applied with gorder.ApplyEdits, the existing permutation is
+// extended in place with OrderIncrementalCtx, and F(pi) is maintained
+// with ScoreDelta — never rescored from scratch. When the
+// edge-normalised score density decays below a threshold of its
+// baseline, everything placed since the last full ordering is
+// re-placed jointly (the daemon's repair job); a full recompute runs
+// only to report the retention ratio.
+//
+//	go run ./examples/evolvinggraph [-users 30000] [-days 6]
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
+	"log"
 	"time"
 
 	"gorder"
 )
 
+const decayThreshold = 0.93
+
 func main() {
-	// Day 0: a social network with 30k users, ordered once.
-	g := gorder.NewSocialGraph(30_000, 5)
+	users := flag.Int("users", 30_000, "initial user count")
+	days := flag.Int("days", 6, "mutation batches to apply")
+	flag.Parse()
+
+	// Day 0: the network is ordered once, establishing the quality
+	// baseline the decay monitor measures against.
+	g := gorder.NewSocialGraph(*users, 5)
+	w := gorder.DefaultWindow
 	t0 := time.Now()
 	perm := gorder.Order(g)
 	fullCost := time.Since(t0)
-	fmt.Printf("day 0: %d users, full Gorder in %v (F = %d)\n",
-		g.NumNodes(), fullCost.Round(time.Millisecond),
-		gorder.Score(g, perm, gorder.DefaultWindow))
+	f := gorder.Score(g, perm, w)
+	baseDensity := float64(f) / float64(g.NumEdges())
+	cleanNodes := g.NumNodes()
+	fmt.Printf("day 0: %d users, full Gorder in %v (F = %d, packing %.2f)\n",
+		g.NumNodes(), fullCost.Round(time.Millisecond), f,
+		gorder.PackingFactor(g, perm))
 
-	// Each "day", 3% new users join and follow a few existing ones.
-	for day := 1; day <= 3; day++ {
-		g2, grown := grow(g, g.NumNodes()*3/100, uint64(day))
+	rng := rngState(5)
+	for day := 1; day <= *days; day++ {
+		add, del, newUsers := dailyBatch(&rng, g)
+		g2, st, err := gorder.ApplyEdits(g, newUsers, add, del)
+		if err != nil {
+			log.Fatalf("day %d: %v", day, err)
+		}
+
+		// Extend the order to the new version without moving anyone,
+		// and roll F forward in time proportional to the batch.
 		t1 := time.Now()
-		permInc := gorder.OrderIncremental(g2, perm, gorder.Options{})
-		incCost := time.Since(t1)
+		perm2, err := gorder.OrderIncrementalCtx(context.Background(), g2, perm, nil, gorder.Options{})
+		if err != nil {
+			log.Fatalf("day %d: %v", day, err)
+		}
+		f += gorder.ScoreDelta(g, g2, perm2, w, add, del)
+		extCost := time.Since(t1)
 
+		decay := (float64(f) / float64(g2.NumEdges())) / baseDensity
+		fmt.Printf("day %d: +%d users, +%d/-%d follows | extended in %v | F=%d decay=%.3f",
+			day, newUsers, st.Added, st.Deleted, extCost.Round(time.Microsecond), f, decay)
+
+		g, perm = g2, perm2
+		if decay >= decayThreshold {
+			fmt.Println()
+			continue
+		}
+
+		// Decayed: re-place everything ordered since the baseline,
+		// jointly — gorderd's incremental repair job.
+		var dirty []gorder.NodeID
+		for v := cleanNodes; v < g.NumNodes(); v++ {
+			dirty = append(dirty, gorder.NodeID(v))
+		}
 		t2 := time.Now()
-		permFull := gorder.Order(g2)
-		fullCost := time.Since(t2)
+		repaired, err := gorder.OrderIncrementalCtx(context.Background(), g, perm, dirty, gorder.Options{})
+		if err != nil {
+			log.Fatalf("day %d repair: %v", day, err)
+		}
+		repCost := time.Since(t2)
 
-		w := gorder.DefaultWindow
-		fmt.Printf("day %d: +%d users | incremental %-8v F=%d | full %-8v F=%d | update is %.0fx cheaper\n",
-			day, grown,
-			incCost.Round(time.Millisecond), gorder.Score(g2, permInc, w),
-			fullCost.Round(time.Millisecond), gorder.Score(g2, permFull, w),
-			float64(fullCost)/float64(incCost))
-
-		g, perm = g2, permInc
+		t3 := time.Now()
+		fullPerm := gorder.Order(g)
+		fullCost := time.Since(t3)
+		fRep := gorder.Score(g, repaired, w)
+		fFull := gorder.Score(g, fullPerm, w)
+		fmt.Printf(" → repair %d vertices in %v: F=%d (%.1f%% of full recompute, %.0fx cheaper)\n",
+			len(dirty), repCost.Round(time.Microsecond), fRep,
+			100*float64(fRep)/float64(fFull), float64(fullCost)/float64(repCost))
+		perm, f = repaired, fRep
 	}
 	fmt.Println("\n(old users keep their IDs across days — external indexes stay valid)")
 }
 
-// grow returns a copy of g with extra new vertices appended, each
-// following a few existing users (with some follow-backs).
-func grow(g *gorder.Graph, extra int, seed uint64) (*gorder.Graph, int) {
+// dailyBatch builds one day's deterministic mutation batch: new users
+// following existing ones (with some follow-backs), plus a sprinkle of
+// unfollows among the existing edges.
+func dailyBatch(state *uint64, g *gorder.Graph) (add, del []gorder.Edge, newUsers int) {
 	n := g.NumNodes()
-	var edges []gorder.Edge
-	g.Edges(func(u, v gorder.NodeID) bool {
-		edges = append(edges, gorder.Edge{From: u, To: v})
-		return true
-	})
-	// Deterministic pseudo-random follows derived from the seed.
-	state := seed*0x9E3779B97F4A7C15 + 12345
+	newUsers = n * 2 / 100
 	next := func(mod int) int {
-		state ^= state << 13
-		state ^= state >> 7
-		state ^= state << 17
-		return int(state % uint64(mod))
+		*state ^= *state << 13
+		*state ^= *state >> 7
+		*state ^= *state << 17
+		return int(*state % uint64(mod))
 	}
-	for v := n; v < n+extra; v++ {
+	for v := n; v < n+newUsers; v++ {
 		follows := 2 + next(4)
 		for j := 0; j < follows; j++ {
 			t := gorder.NodeID(next(v))
-			edges = append(edges, gorder.Edge{From: gorder.NodeID(v), To: t})
+			add = append(add, gorder.Edge{From: gorder.NodeID(v), To: t})
 			if next(3) == 0 {
-				edges = append(edges, gorder.Edge{From: t, To: gorder.NodeID(v)})
+				add = append(add, gorder.Edge{From: t, To: gorder.NodeID(v)})
 			}
 		}
 	}
-	return gorder.FromEdgesDedup(n+extra, edges), extra
+	// Unfollow ~0.5% of existing edges.
+	quota := int(g.NumEdges() / 200)
+	g.Edges(func(u, v gorder.NodeID) bool {
+		if quota > 0 && next(200) == 0 {
+			del = append(del, gorder.Edge{From: u, To: v})
+			quota--
+		}
+		return true
+	})
+	return add, del, newUsers
+}
+
+func rngState(seed uint64) uint64 {
+	return seed*0x9E3779B97F4A7C15 + 12345
 }

@@ -79,6 +79,19 @@ func ReadBinaryBytes(data []byte) (*Graph, error) { return graph.ReadBinaryBytes
 // serial), 1 forces the serial path, k > 1 forces exactly k workers.
 func SetIngestParallelism(k int) { graph.SetIngestParallelism(k) }
 
+// EditStats summarises what an ApplyEdits call actually changed.
+type EditStats = graph.EditStats
+
+// ApplyEdits derives a new graph from g by appending addNodes fresh
+// vertices and applying a batch of edge deletions then insertions —
+// the mutation primitive behind gorderd's POST /graphs/{name}/edges.
+// g is unchanged; versioned stores keep both. Deletes run before
+// adds, duplicate requests collapse, and already-satisfied requests
+// are counted rather than failed, so batches replay idempotently.
+func ApplyEdits(g *Graph, addNodes int, add, del []Edge) (*Graph, EditStats, error) {
+	return graph.ApplyEdits(g, addNodes, add, del)
+}
+
 // Apply relabels g under perm: vertex u becomes perm[u]. It panics if
 // perm is not a permutation of g's vertices.
 func Apply(g *Graph, perm Permutation) *Graph { return g.Relabel(perm) }

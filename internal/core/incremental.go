@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gorder/internal/graph"
@@ -11,51 +12,106 @@ import (
 // grown graph without recomputing it from scratch — the adaptation
 // the papers' discussion calls for on evolving networks, where the
 // full greedy run is too expensive to repeat on every batch of new
-// vertices.
+// vertices. It is OrderIncrementalCtx with no dirty set and no
+// cancellation: pure growth, every previously ordered vertex keeps its
+// position.
+func OrderIncremental(g *graph.Graph, base order.Permutation, opt Options) (order.Permutation, error) {
+	return OrderIncrementalCtx(context.Background(), g, base, nil, opt)
+}
+
+// OrderIncrementalCtx repairs an existing Gorder-style permutation
+// after the graph changed, without a full recompute.
 //
-// g must contain the previously ordered vertices as IDs 0..len(base)-1
-// (their edges may have changed) plus any number of new vertices
-// appended after them. The old vertices keep their base positions;
-// the new vertices are placed greedily after them, each chosen to
-// maximise the windowed score S against the last w placed vertices —
-// the same objective and bookkeeping as the full algorithm, restricted
-// to the new suffix.
+// g must contain the previously ordered vertices as IDs
+// 0..len(base)-1 (their edges may have changed) plus any number of
+// new vertices appended after them. dirty lists old vertices whose
+// neighbourhoods changed enough that their placement should be
+// reconsidered — typically the endpoints of inserted and deleted
+// edges. Vertices neither new nor dirty keep their relative order
+// from base (compacted over the holes the dirty vertices leave); the
+// dirty and new vertices are then re-placed greedily after them, each
+// chosen to maximise the windowed score S against the last w placed
+// vertices — the same objective and bookkeeping as the full
+// algorithm, restricted to the re-placement set. Because dirty
+// vertices are re-scored on the *current* graph, the repair tolerates
+// edge deletions, not just appended suffixes.
 //
-// The suffix is ordered exactly as the full greedy would order it
-// given the frozen prefix, so quality degrades only as much as the
-// frozen prefix is stale; re-run OrderWith when churn accumulates.
-func OrderIncremental(g *graph.Graph, base order.Permutation, opt Options) order.Permutation {
+// The re-placement set is ordered exactly as the full greedy would
+// order it given the frozen prefix, so quality degrades only as much
+// as the frozen prefix is stale; monitor F(pi) and re-run OrderWith
+// when churn accumulates.
+//
+// Malformed input — a base that is not a valid permutation, covers
+// more vertices than g has, or a dirty vertex out of range — returns
+// an error instead of panicking, so a service can feed it client
+// mutation batches directly. Cancellation via ctx returns ctx.Err()
+// with a nil permutation, like OrderWithCtx.
+func OrderIncrementalCtx(ctx context.Context, g *graph.Graph, base order.Permutation, dirty []graph.NodeID, opt Options) (order.Permutation, error) {
 	n := g.NumNodes()
 	k := len(base)
 	if k > n {
-		panic(fmt.Sprintf("core: base permutation covers %d vertices but graph has %d", k, n))
+		return nil, fmt.Errorf("core: base permutation covers %d vertices but graph has %d", k, n)
 	}
 	if err := base.Validate(); err != nil {
-		panic("core: invalid base permutation: " + err.Error())
+		return nil, fmt.Errorf("core: invalid base permutation: %w", err)
+	}
+	for _, d := range dirty {
+		if int(d) < 0 || int(d) >= n {
+			return nil, fmt.Errorf("core: dirty vertex %d out of range [0, %d)", d, n)
+		}
 	}
 	if k == 0 {
-		return OrderWith(g, opt)
+		return OrderWithCtx(ctx, g, opt)
 	}
 	w := opt.Window
 	if w <= 0 {
 		w = DefaultWindow
 	}
-	// Sequence starts as the frozen prefix.
-	seq := make([]graph.NodeID, n)
-	copy(seq, base.Sequence())
 
-	if k == n {
-		return order.FromSequence(seq)
+	// The re-placement set R: dirty old vertices plus every new vertex.
+	// mark[v] for old vertices only; new vertices are implicit.
+	mark := make([]bool, k)
+	for _, d := range dirty {
+		if int(d) < k {
+			mark[d] = true
+		}
 	}
-	// Queue over the new vertices only; queue index = vertex - k.
-	q := NewUnitHeap(n - k)
+
+	// seq starts as the compacted clean prefix: base order with the
+	// dirty vertices' slots squeezed out.
+	seq := make([]graph.NodeID, 0, n)
+	for _, v := range base.Sequence() {
+		if !mark[v] {
+			seq = append(seq, v)
+		}
+	}
+	frozen := len(seq)
+	if frozen == n {
+		return order.FromSequence(seq), ctx.Err()
+	}
+
+	// R in ascending vertex ID — the deterministic slot order the unit
+	// heap breaks ties by.
+	slot := make([]int32, n)
+	for i := range slot {
+		slot[i] = -1
+	}
+	r := make([]graph.NodeID, 0, n-frozen)
+	for v := 0; v < n; v++ {
+		if v >= k || mark[v] {
+			slot[v] = int32(len(r))
+			r = append(r, graph.NodeID(v))
+		}
+	}
+
+	q := NewUnitHeap(len(r))
 	apply := func(v graph.NodeID, delta int) {
 		bump := func(u graph.NodeID) {
-			if int(u) >= k && q.Contains(int(u)-k) {
+			if s := slot[u]; s >= 0 && q.Contains(int(s)) {
 				if delta > 0 {
-					q.Inc(int(u) - k)
+					q.Inc(int(s))
 				} else {
-					q.Dec(int(u) - k)
+					q.Dec(int(s))
 				}
 			}
 		}
@@ -75,15 +131,21 @@ func OrderIncremental(g *graph.Graph, base order.Permutation, opt Options) order
 		}
 	}
 	// Prime the window with the tail of the frozen prefix.
-	lo := k - w
+	lo := frozen - w
 	if lo < 0 {
 		lo = 0
 	}
-	for _, v := range seq[lo:k] {
+	for _, v := range seq[lo:frozen] {
 		apply(v, +1)
 	}
-	for i := k; i < n; i++ {
-		if i > k {
+	seq = seq[:n]
+	for i := frozen; i < n; i++ {
+		if (i-frozen)%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if i > frozen {
 			apply(seq[i-1], +1)
 			if i-1-w >= 0 {
 				apply(seq[i-1-w], -1)
@@ -93,7 +155,7 @@ func OrderIncremental(g *graph.Graph, base order.Permutation, opt Options) order
 		if !ok {
 			break
 		}
-		seq[i] = graph.NodeID(v + k)
+		seq[i] = r[v]
 	}
-	return order.FromSequence(seq)
+	return order.FromSequence(seq), nil
 }

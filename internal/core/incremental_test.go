@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -32,12 +33,39 @@ func grow(rng *rand.Rand, g *graph.Graph, extra int) *graph.Graph {
 	return graph.FromEdgesDedup(n+extra, edges)
 }
 
+// churn applies random edge deletions to g (no vertex changes) and
+// returns the new graph plus the dirty endpoints of deleted edges.
+func churn(rng *rand.Rand, g *graph.Graph, dels int) (*graph.Graph, []graph.NodeID) {
+	var edges []graph.Edge
+	g.Edges(func(u, v graph.NodeID) bool {
+		edges = append(edges, graph.Edge{From: u, To: v})
+		return true
+	})
+	var dirty []graph.NodeID
+	for i := 0; i < dels && len(edges) > 1; i++ {
+		j := rng.Intn(len(edges))
+		dirty = append(dirty, edges[j].From, edges[j].To)
+		edges[j] = edges[len(edges)-1]
+		edges = edges[:len(edges)-1]
+	}
+	return graph.FromEdgesDedup(g.NumNodes(), edges), dirty
+}
+
+func mustIncremental(t *testing.T, g *graph.Graph, base order.Permutation, opt Options) order.Permutation {
+	t.Helper()
+	p, err := OrderIncremental(g, base, opt)
+	if err != nil {
+		t.Fatalf("OrderIncremental: %v", err)
+	}
+	return p
+}
+
 func TestIncrementalPreservesPrefix(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	g := randGraph(rng, 40, 150)
 	base := Order(g)
 	g2 := grow(rng, g, 15)
-	p := OrderIncremental(g2, base, Options{})
+	p := mustIncremental(t, g2, base, Options{})
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +86,7 @@ func TestIncrementalEmptyBaseFallsBack(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	g := randGraph(rng, 30, 100)
 	full := Order(g)
-	inc := OrderIncremental(g, order.Permutation{}, Options{})
+	inc := mustIncremental(t, g, order.Permutation{}, Options{})
 	for u := range full {
 		if full[u] != inc[u] {
 			t.Fatal("empty base did not reduce to the full algorithm")
@@ -70,7 +98,7 @@ func TestIncrementalNoNewVertices(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	g := randGraph(rng, 25, 80)
 	base := Order(g)
-	p := OrderIncremental(g, base, Options{})
+	p := mustIncremental(t, g, base, Options{})
 	for u := range base {
 		if p[u] != base[u] {
 			t.Fatal("no-op increment changed the permutation")
@@ -78,20 +106,123 @@ func TestIncrementalNoNewVertices(t *testing.T) {
 	}
 }
 
-func TestIncrementalPanicsOnBadBase(t *testing.T) {
+func TestIncrementalRejectsBadInput(t *testing.T) {
 	g := graph.FromEdges(3, nil)
 	for name, base := range map[string]order.Permutation{
 		"too long": {0, 1, 2, 3},
 		"invalid":  {0, 0},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s base accepted", name)
-				}
-			}()
-			OrderIncremental(g, base, Options{})
-		}()
+		if _, err := OrderIncremental(g, base, Options{}); err == nil {
+			t.Errorf("%s base accepted", name)
+		}
+	}
+	base := order.Permutation{0, 1}
+	for name, dirty := range map[string][]graph.NodeID{
+		"negative":     {0, graph.NodeID(^uint32(0))},
+		"out of range": {3},
+	} {
+		if _, err := OrderIncrementalCtx(context.Background(), g, base, dirty, Options{}); err == nil {
+			t.Errorf("%s dirty vertex accepted", name)
+		}
+	}
+}
+
+func TestIncrementalCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randGraph(rng, 50, 200)
+	base := Order(g)
+	g2 := grow(rng, g, 2000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if p, err := OrderIncrementalCtx(ctx, g2, base, nil, Options{}); err == nil || p != nil {
+		t.Fatalf("canceled context: got perm=%v err=%v, want nil, ctx error", p, err)
+	}
+}
+
+// Dirty vertices are re-placed; clean vertices keep their relative
+// order from the base permutation.
+func TestIncrementalDirtyReplacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := randGraph(rng, 60, 300)
+	base := Order(g)
+	g2, dirty := churn(rng, g, 30)
+	p, err := OrderIncrementalCtx(context.Background(), g2, base, dirty, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	isDirty := make(map[graph.NodeID]bool)
+	for _, d := range dirty {
+		isDirty[d] = true
+	}
+	// Clean vertices appear in the same relative order as in base.
+	var cleanBase, cleanNew []graph.NodeID
+	for _, v := range base.Sequence() {
+		if !isDirty[v] {
+			cleanBase = append(cleanBase, v)
+		}
+	}
+	for _, v := range p.Sequence() {
+		if !isDirty[v] {
+			cleanNew = append(cleanNew, v)
+		}
+	}
+	if len(cleanBase) != len(cleanNew) {
+		t.Fatalf("clean count changed: %d → %d", len(cleanBase), len(cleanNew))
+	}
+	for i := range cleanBase {
+		if cleanBase[i] != cleanNew[i] {
+			t.Fatalf("clean vertex order changed at %d: %d vs %d", i, cleanBase[i], cleanNew[i])
+		}
+	}
+	// Dirty vertices occupy the suffix.
+	seq := p.Sequence()
+	for _, v := range seq[len(cleanBase):] {
+		if !isDirty[v] {
+			t.Fatalf("clean vertex %d in the re-placement suffix", v)
+		}
+	}
+}
+
+// The repair move the daemon's quality monitor fires: after several
+// growth batches extended one at a time, jointly re-placing everything
+// added since the baseline recovers at least the per-batch extension's
+// objective, at a fraction of a full recompute's work.
+func TestIncrementalRepairSinceBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := gen.BarabasiAlbert(2000, 4, 21)
+	perm := Order(g)
+	baseN := g.NumNodes()
+	w := DefaultWindow
+	for batch := 0; batch < 3; batch++ {
+		g = grow(rng, g, g.NumNodes()/25)
+		var err error
+		perm, err = OrderIncrementalCtx(context.Background(), g, perm, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var dirty []graph.NodeID
+	for v := baseN; v < g.NumNodes(); v++ {
+		dirty = append(dirty, graph.NodeID(v))
+	}
+	repaired, err := OrderIncrementalCtx(context.Background(), g, perm, dirty, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repaired.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fExt := order.Score(g, perm, w)
+	fRep := order.Score(g, repaired, w)
+	if fRep < fExt {
+		t.Errorf("joint repair F=%d below accumulated extensions F=%d", fRep, fExt)
+	}
+	fFull := order.Score(g, Order(g), w)
+	if float64(fRep) < 0.9*float64(fFull) {
+		t.Errorf("repair F=%d under 0.9 of full recompute F=%d", fRep, fFull)
 	}
 }
 
@@ -107,7 +238,7 @@ func TestIncrementalSuffixGreedyOptimal(t *testing.T) {
 		extra := 5 + rng.Intn(15)
 		g2 := grow(rng, g, extra)
 		w := 4
-		p := OrderIncremental(g2, base, Options{Window: w})
+		p := mustIncremental(t, g2, base, Options{Window: w})
 		seq := p.Sequence()
 		placed := make([]bool, g2.NumNodes())
 		for _, v := range seq[:k] {
@@ -148,7 +279,7 @@ func TestIncrementalBeatsNaiveAppend(t *testing.T) {
 	base := Order(g)
 	g2 := grow(rng, g, 150)
 	w := DefaultWindow
-	inc := OrderIncremental(g2, base, Options{})
+	inc := mustIncremental(t, g2, base, Options{})
 	naive := make(order.Permutation, g2.NumNodes())
 	copy(naive, base)
 	for u := 300; u < g2.NumNodes(); u++ {
@@ -167,7 +298,10 @@ func TestQuickIncrementalValid(t *testing.T) {
 		g := randGraph(rng, k, rng.Intn(4*k))
 		base := Order(g)
 		g2 := grow(rng, g, rng.Intn(20))
-		p := OrderIncremental(g2, base, Options{Window: 1 + rng.Intn(6)})
+		p, err := OrderIncremental(g2, base, Options{Window: 1 + rng.Intn(6)})
+		if err != nil {
+			return false
+		}
 		if len(p) != g2.NumNodes() || p.Validate() != nil {
 			return false
 		}

@@ -1,0 +1,69 @@
+package order
+
+import "gorder/internal/graph"
+
+// ScoreDelta returns Score(gNew, p, w) - Score(gOld, pOld, w) without
+// rescoring either graph, where gNew was derived from gOld by the
+// given edge edits (plus any number of appended vertices) and p
+// extends the old permutation pOld = p[:gOld.NumNodes()]: every old
+// vertex must hold the position it had under pOld, with the new
+// vertices occupying the trailing positions. That is exactly the shape
+// core.OrderIncrementalCtx produces with a nil dirty set, so a quality
+// monitor can maintain F(pi) across mutation batches in time
+// proportional to the batch, not the graph.
+//
+// Only window pairs whose score can have changed are rescored: a pair
+// (a, b) is affected only if S_s or S_n changed, which requires the
+// in-neighbourhood or incident edges of a or b to have changed — and
+// every changed edge (x, u) alters only in(u), out(x), and the shared
+// in-neighbour x itself. Marking both endpoints of every edit plus all
+// appended vertices therefore covers every affected pair with at least
+// one marked endpoint. Edits that were no-ops (adds of present edges,
+// deletes of absent ones) may be passed freely; their pairs rescore to
+// a zero delta.
+func ScoreDelta(gOld, gNew *graph.Graph, p Permutation, w int, added, removed []graph.Edge) int64 {
+	nOld, nNew := gOld.NumNodes(), gNew.NumNodes()
+	if len(p) != nNew || w <= 0 {
+		return 0
+	}
+	mark := make([]bool, nNew)
+	for v := nOld; v < nNew; v++ {
+		mark[v] = true
+	}
+	for _, e := range append(append([]graph.Edge(nil), added...), removed...) {
+		if int(e.From) < nNew && int(e.To) < nNew {
+			mark[e.From], mark[e.To] = true, true
+		}
+	}
+	seq := p.Sequence()
+	var delta int64
+	for d := 0; d < nNew; d++ {
+		if !mark[d] {
+			continue
+		}
+		i := int(p[d])
+		lo, hi := i-w, i+w
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > nNew-1 {
+			hi = nNew - 1
+		}
+		for j := lo; j <= hi; j++ {
+			if j == i {
+				continue
+			}
+			other := seq[j]
+			// Pairs with two marked endpoints are visited twice; keep
+			// the visit from the lower position.
+			if mark[other] && j < i {
+				continue
+			}
+			delta += PairScore(gNew, graph.NodeID(d), other)
+			if d < nOld && int(other) < nOld {
+				delta -= PairScore(gOld, graph.NodeID(d), other)
+			}
+		}
+	}
+	return delta
+}

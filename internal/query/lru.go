@@ -66,6 +66,22 @@ func (c *byteLRU) put(key string, value any, size int64) {
 	}
 }
 
+// remove drops key if present, reporting whether it was held. The
+// executor uses it to invalidate relabeled graphs whose ordering
+// artifact a repair job has just replaced.
+func (c *byteLRU) remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.unlink(e)
+	delete(c.entries, e.key)
+	c.bytes -= e.size
+	return true
+}
+
 func (c *byteLRU) stats() (entries int, bytes, evictions int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -607,6 +607,18 @@ func shapeValues(res *registry.KernelResult, targets []int, top int) ([]Value, *
 	return sel, nil
 }
 
+// InvalidateOrdering drops the relabeled-graph cache entry for one
+// ordering artifact. The daemon calls it after a repair job replaces
+// the stored permutation for (digest, method, optKey): subsequent
+// queries naming that ordering rebuild the relabeled graph from the
+// repaired artifact instead of serving the superseded layout. Cached
+// results need no invalidation — result keys carry no ordering and
+// result vectors live in natural vertex IDs, so they are correct under
+// any permutation of the same digest.
+func (e *Executor) InvalidateOrdering(digest, method, optKey string) {
+	e.graphs.remove(digest + "|" + method + "|" + optKey)
+}
+
 // ---- metrics ------------------------------------------------------------
 
 // KernelRuns returns how many kernel executions the executor has paid.

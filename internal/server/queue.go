@@ -27,8 +27,9 @@ const (
 
 // Job kinds.
 const (
-	KindOrder = "order" // compute a permutation of a registered graph
-	KindEval  = "eval"  // score a permutation / run the cache simulator
+	KindOrder  = "order"  // compute a permutation of a registered graph
+	KindEval   = "eval"   // score a permutation / run the cache simulator
+	KindRepair = "repair" // re-place decayed suffix of a lineage's tracked ordering
 )
 
 // JobRequest is the client-supplied description of a job (the POST
@@ -175,7 +176,7 @@ func (p *Pool) Start() {
 
 // Submit validates and enqueues a job, returning its initial status.
 func (p *Pool) Submit(req JobRequest) (JobStatus, error) {
-	if req.Kind != KindOrder && req.Kind != KindEval {
+	if req.Kind != KindOrder && req.Kind != KindEval && req.Kind != KindRepair {
 		return JobStatus{}, fmt.Errorf("unknown job kind %q", req.Kind)
 	}
 	p.mu.Lock()

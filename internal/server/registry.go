@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -8,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"slices"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -30,6 +32,13 @@ type GraphInfo struct {
 	// reports resident and not on disk for everything.
 	Resident bool `json:"resident"`
 	OnDisk   bool `json:"on_disk"`
+	// Lineage/Version/Latest are set when the lookup resolved through
+	// a versioned lineage (a bare name, name@latest, or name@vN with a
+	// store attached): which lineage, which version this info describes,
+	// and the lineage's current tip version.
+	Lineage string `json:"lineage,omitempty"`
+	Version int    `json:"version,omitempty"`
+	Latest  int    `json:"latest,omitempty"`
 }
 
 // Registry holds the named graphs the daemon can run jobs against.
@@ -200,42 +209,89 @@ func (r *Registry) LoadDir(dir string) (int, error) {
 	return loaded, nil
 }
 
-// resolveLocked maps an ID-or-name reference to its entry.
-func (r *Registry) resolveLocked(ref string) (*regEntry, bool) {
-	e, ok := r.byID[ref]
-	if !ok {
-		if id, named := r.byName[ref]; named {
-			e, ok = r.byID[id], true
+// parseRef splits a version-qualified graph reference: "name@vN"
+// pins version N, "name@latest" follows the tip (same as the bare
+// name, but explicit). Anything without a well-formed qualifier is a
+// plain reference (versioned reports false) and resolves as before —
+// digest first, then name — so names containing '@' that never meant
+// a version keep working.
+func parseRef(ref string) (name string, version int, versioned bool) {
+	i := strings.LastIndexByte(ref, '@')
+	if i <= 0 || i == len(ref)-1 {
+		return ref, 0, false
+	}
+	name, tag := ref[:i], ref[i+1:]
+	if tag == "latest" {
+		return name, 0, true
+	}
+	if strings.HasPrefix(tag, "v") {
+		if n, err := strconv.Atoi(tag[1:]); err == nil && n >= 1 {
+			return name, n, true
 		}
 	}
-	return e, ok
+	return ref, 0, false
 }
 
-// Stat resolves a graph's metadata by ID or, failing that, by name —
-// without loading an evicted graph back into memory. Use this for
-// validation and listing; Get for actually running against the graph.
+// resolveLocked maps a reference to its entry: a registered digest, a
+// version-qualified lineage member (store required), or a name — in
+// that order. Lineage-resolved lookups also report which lineage and
+// version the reference landed on.
+func (r *Registry) resolveLocked(ref string) (*regEntry, GraphInfo, bool) {
+	if e, ok := r.byID[ref]; ok {
+		return e, e.info, true
+	}
+	name, want, versioned := parseRef(ref)
+	if versioned && r.store != nil {
+		digest, resolved, latest, err := r.store.ResolveVersion(name, want)
+		if err == nil {
+			if e, ok := r.byID[digest]; ok {
+				info := e.info
+				info.Lineage, info.Version, info.Latest = name, resolved, latest
+				return e, info, true
+			}
+		}
+		return nil, GraphInfo{}, false
+	}
+	if id, named := r.byName[ref]; named {
+		if e, ok := r.byID[id]; ok {
+			info := e.info
+			if r.store != nil {
+				if _, resolved, latest, err := r.store.ResolveVersion(ref, 0); err == nil {
+					info.Lineage, info.Version, info.Latest = ref, resolved, latest
+				}
+			}
+			return e, info, true
+		}
+	}
+	return nil, GraphInfo{}, false
+}
+
+// Stat resolves a graph's metadata by ID, version reference
+// (name@vN, name@latest), or name — without loading an evicted graph
+// back into memory. Use this for validation and listing; Get for
+// actually running against the graph.
 func (r *Registry) Stat(ref string) (GraphInfo, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	e, ok := r.resolveLocked(ref)
+	_, info, ok := r.resolveLocked(ref)
 	if !ok {
 		return GraphInfo{}, false
 	}
-	return r.annotateLocked(e.info), true
+	return r.annotateLocked(info), true
 }
 
-// Get resolves a graph by ID or, failing that, by name. With a store
-// attached this may reload an evicted graph from disk; a graph whose
-// blob turns out corrupt is deregistered (the store already dropped
-// the blob) and reported as absent, so the content can be re-uploaded.
+// Get resolves a graph by ID, version reference, or name. With a
+// store attached this may reload an evicted graph from disk; a graph
+// whose blob turns out corrupt is deregistered (the store already
+// dropped the blob and healed any lineage it tipped) and reported as
+// absent, so the content can be re-uploaded.
 func (r *Registry) Get(ref string) (*graph.Graph, GraphInfo, bool) {
 	r.mu.RLock()
-	e, ok := r.resolveLocked(ref)
+	e, info, ok := r.resolveLocked(ref)
 	if !ok {
 		r.mu.RUnlock()
 		return nil, GraphInfo{}, false
 	}
-	info := e.info
 	if r.store == nil {
 		g := e.g
 		r.mu.RUnlock()
@@ -253,15 +309,70 @@ func (r *Registry) Get(ref string) (*graph.Graph, GraphInfo, bool) {
 	return g, info, true
 }
 
-// drop removes a graph the store can no longer serve.
+// Advance registers g as the next version of the named lineage — the
+// mutation path behind POST /graphs/{name}/edges. The graph is
+// serialized to derive its content digest (the same ID an upload of
+// those bytes would get), appended to the store lineage, and the name
+// repointed at the new tip. Requires a store: version history has to
+// live somewhere that survives restarts.
+func (r *Registry) Advance(name string, g *graph.Graph) (GraphInfo, error) {
+	if r.store == nil {
+		return GraphInfo{}, fmt.Errorf("versioned mutation requires a persistent store")
+	}
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		return GraphInfo{}, fmt.Errorf("serializing mutated graph: %w", err)
+	}
+	data := buf.Bytes()
+	id := graphID(data)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ver, err := r.store.AppendVersion(name, id, g, int64(len(data)))
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	e, ok := r.byID[id]
+	if !ok {
+		e = &regEntry{info: GraphInfo{
+			ID:    id,
+			Name:  name,
+			Nodes: g.NumNodes(),
+			Edges: g.NumEdges(),
+			Bytes: int64(len(data)),
+			Added: time.Now().UTC(),
+		}}
+		r.byID[id] = e
+		r.graphs.Inc()
+		r.bytes.Add(int64(len(data)))
+	}
+	r.byName[name] = id
+	info := e.info
+	info.Lineage, info.Version, info.Latest = name, ver, ver
+	return r.annotateLocked(info), nil
+}
+
+// drop removes a graph the store can no longer serve. Names that
+// pointed at it follow their lineage's healed tip (the store repoints
+// lineages when it drops a blob) instead of vanishing, so a corrupt
+// tip degrades a name to the previous version rather than a 404.
 func (r *Registry) drop(id string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.byID, id)
 	for name, d := range r.byName {
-		if d == id {
-			delete(r.byName, name)
+		if d != id {
+			continue
 		}
+		if r.store != nil {
+			if tip, _, _, err := r.store.ResolveVersion(name, 0); err == nil {
+				if _, ok := r.byID[tip]; ok {
+					r.byName[name] = tip
+					continue
+				}
+			}
+		}
+		delete(r.byName, name)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"gorder"
@@ -41,6 +42,20 @@ type Config struct {
 	QueryTimeout      time.Duration // default per-query deadline; <= 0 means 30s
 	QueryResultBudget int64         // result-cache LRU bytes; <= 0 means 64 MiB
 	QueryGraphBudget  int64         // relabeled-graph LRU bytes; <= 0 means 256 MiB
+
+	// Mutation-tier knobs (POST /graphs/{name}/edges; store required).
+	// DecayThreshold is the quality ratio below which a repair job is
+	// enqueued (<= 0 means 0.93); RepairFullBelow the ratio below which
+	// the repair recomputes from scratch instead of re-placing the
+	// suffix (<= 0 means 0.85); MaxRepairs how many incremental repairs
+	// may run between full recomputes (<= 0 means 3). DisableAutoRepair
+	// stops mutations from enqueueing repair jobs — the quality record
+	// still updates, and repairs can be submitted manually via POST
+	// /jobs {"kind":"repair"}.
+	DecayThreshold    float64
+	RepairFullBelow   float64
+	MaxRepairs        int
+	DisableAutoRepair bool
 }
 
 // Server glues the registry, the pool, and the metrics into the HTTP
@@ -54,6 +69,10 @@ type Server struct {
 	Pool    *Pool
 	Query   *query.Executor
 	mux     *http.ServeMux
+
+	// mutMu serializes lineage mutations: versions form a chain, so
+	// two edits must not both extend the same tip.
+	mutMu sync.Mutex
 
 	httpRequests *Counter
 	httpErrors   *Counter
@@ -291,22 +310,31 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleGraphByID routes /graphs/{ref} and its subresources. The ref
+// may be a digest, a name, or a version reference (name@vN,
+// name@latest); the subresources address lineages by name.
 func (s *Server) handleGraphByID(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		s.methodNotAllowed(w, r, http.MethodGet)
-		return
-	}
-	ref := strings.TrimPrefix(r.URL.Path, "/graphs/")
-	if ref == "" || strings.Contains(ref, "/") {
+	rest := strings.TrimPrefix(r.URL.Path, "/graphs/")
+	ref, sub, hasSub := strings.Cut(rest, "/")
+	switch {
+	case ref == "" || (hasSub && sub != "edges" && sub != "lineage"):
 		s.writeError(w, http.StatusNotFound, "not_found", "no such route %s", r.URL.Path)
-		return
+	case sub == "edges":
+		s.handleGraphEdges(w, r, ref)
+	case sub == "lineage":
+		s.handleGraphLineage(w, r, ref)
+	default:
+		if r.Method != http.MethodGet {
+			s.methodNotAllowed(w, r, http.MethodGet)
+			return
+		}
+		info, ok := s.Reg.Stat(ref)
+		if !ok {
+			s.writeError(w, http.StatusNotFound, "graph_not_found", "no graph %q", ref)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, info)
 	}
-	info, ok := s.Reg.Stat(ref)
-	if !ok {
-		s.writeError(w, http.StatusNotFound, "graph_not_found", "no graph %q", ref)
-		return
-	}
-	s.writeJSON(w, http.StatusOK, info)
 }
 
 // maxJobBody caps POST /jobs bodies; job descriptions are tiny.
@@ -369,9 +397,18 @@ func (s *Server) validateJob(req *JobRequest) (code, msg string) {
 					req.Kernel, strings.Join(registry.KernelNames(), " "))
 			}
 		}
+	case KindRepair:
+		if s.cfg.Store == nil {
+			return "no_store", "repair jobs require the daemon to run with a persistent store (-data-dir)"
+		}
+		if req.Graph != "" {
+			if _, ok := s.cfg.Store.Lineage(req.Graph); !ok {
+				return "unknown_lineage", fmt.Sprintf("no graph lineage %q to repair", req.Graph)
+			}
+		}
 	default:
-		return "unknown_kind", fmt.Sprintf("unknown job kind %q (known: %s, %s)",
-			req.Kind, KindOrder, KindEval)
+		return "unknown_kind", fmt.Sprintf("unknown job kind %q (known: %s, %s, %s)",
+			req.Kind, KindOrder, KindEval, KindRepair)
 	}
 	if req.Graph == "" {
 		return "missing_graph", "job requires a graph ID or name"
@@ -470,17 +507,20 @@ func (s *Server) execute(ctx context.Context, req JobRequest, found func(order.P
 		// to one artifact. A hit skips the ordering computation entirely
 		// — the amortization the store exists for.
 		var method, optKey string
+		var copts registry.Options
 		if st := s.cfg.Store; st != nil {
 			if desc, ok := registry.Lookup(req.Method); ok {
-				if _, key, err := registry.OptionsKey(req.Method, opts); err == nil {
-					method, optKey = strings.ToLower(desc.Name), key
+				if c, key, err := registry.OptionsKey(req.Method, opts); err == nil {
+					method, optKey, copts = strings.ToLower(desc.Name), key, c
 				}
 			}
 			if optKey != "" {
 				if perm, ok := st.GetOrder(info.ID, method, optKey, g.NumNodes()); ok {
 					found(perm)
+					f := order.Score(g, perm, w)
+					s.recordOrderingQuality(info.ID, g, method, optKey, copts, perm, w, f, false)
 					return map[string]float64{
-						"score_F":   float64(order.Score(g, perm, w)),
+						"score_F":   float64(f),
 						"bandwidth": float64(order.Bandwidth(g, perm)),
 						"cache_hit": 1,
 					}, nil
@@ -493,14 +533,19 @@ func (s *Server) execute(ctx context.Context, req JobRequest, found func(order.P
 			return nil, err
 		}
 		found(perm)
+		f := order.Score(g, perm, w)
 		if optKey != "" {
 			if err := s.cfg.Store.PutOrder(info.ID, method, optKey, perm); err != nil {
 				s.log.Warn("persisting ordering artifact failed", "graph", info.ID,
 					"method", method, "err", err)
+			} else {
+				// A fresh full computation is the quality monitor's ground
+				// truth: (re-)baseline any lineage this graph tips.
+				s.recordOrderingQuality(info.ID, g, method, optKey, copts, perm, w, f, true)
 			}
 		}
 		return map[string]float64{
-			"score_F":   float64(order.Score(g, perm, w)),
+			"score_F":   float64(f),
 			"bandwidth": float64(order.Bandwidth(g, perm)),
 		}, nil
 	case KindEval:
@@ -539,6 +584,8 @@ func (s *Server) execute(ctx context.Context, req JobRequest, found func(order.P
 			metrics["sim_cycles"] = float64(rep.Cycles)
 		}
 		return metrics, nil
+	case KindRepair:
+		return s.executeRepair(ctx, g, info, found)
 	default:
 		return nil, fmt.Errorf("unknown job kind %q", req.Kind)
 	}

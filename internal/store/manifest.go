@@ -59,25 +59,61 @@ type resultRec struct {
 	LastAccess time.Time `json:"last_access"`
 }
 
+// qualityRec is a lineage's persisted ordering-quality state: the
+// monitor's baseline (set at the last full ordering) and running
+// totals, maintained incrementally across mutation batches so a
+// restarted daemon resumes decay tracking without rescoring anything.
+type qualityRec struct {
+	Method      string  `json:"method"`       // canonical ordering the lineage follows
+	OptKey      string  `json:"opt_key"`      // its canonical-options hash (artifact key part)
+	OptionsJSON string  `json:"options_json"` // canonical options as JSON — opt_key is a hash, repair jobs need the values
+	Window      int     `json:"window"`       // window width F is tracked at
+	BaseF       int64   `json:"base_f"`       // F(pi) at the last full ordering
+	BaseEdges   int64   `json:"base_edges"`   // edge count then
+	BasePacking float64 `json:"base_packing"` // packing factor then
+	CurF        int64   `json:"cur_f"`        // F(pi) on the current tip
+	CurEdges    int64   `json:"cur_edges"`    //
+	CurPacking  float64 `json:"cur_packing"`  //
+	CleanNodes  int     `json:"clean_nodes"`  // vertex count at the last full ordering; repair re-places everything after it
+	Repairs     int     `json:"repairs"`      // incremental repairs since the last full ordering
+	// Dirty accumulates changed-edge endpoints since the last full
+	// ordering, capped at maxDirtyTracked; past the cap DirtyOverflow
+	// forces the next repair to be a full recompute.
+	Dirty         []uint32 `json:"dirty,omitempty"`
+	DirtyOverflow bool     `json:"dirty_overflow,omitempty"`
+}
+
+// lineageRec is one named graph's version history, oldest first. The
+// Names alias always points at the last (tip) entry.
+type lineageRec struct {
+	Versions []string    `json:"versions"`
+	Quality  *qualityRec `json:"quality,omitempty"`
+}
+
 // manifest is the JSON index of everything in the store, written
 // atomically on every mutation so a crash never loses or tears it.
 type manifest struct {
 	Version int                  `json:"version"`
 	Graphs  map[string]*graphRec `json:"graphs"` // digest -> record
-	Names   map[string]string    `json:"names"`  // graph name -> digest
+	Names   map[string]string    `json:"names"`  // graph name -> tip digest
 	Orders  map[string]*orderRec `json:"orders"` // artifact file name -> record
 	// Results maps result-artifact file names to records. Omitted
 	// (nil) in manifests written before the query tier existed.
 	Results map[string]*resultRec `json:"results,omitempty"`
+	// Lineages maps graph names to version histories. Omitted (nil) in
+	// manifests written before graphs became mutable; loading such a
+	// manifest synthesizes a one-version lineage per name.
+	Lineages map[string]*lineageRec `json:"lineages,omitempty"`
 }
 
 func newManifest() *manifest {
 	return &manifest{
-		Version: manifestVersion,
-		Graphs:  make(map[string]*graphRec),
-		Names:   make(map[string]string),
-		Orders:  make(map[string]*orderRec),
-		Results: make(map[string]*resultRec),
+		Version:  manifestVersion,
+		Graphs:   make(map[string]*graphRec),
+		Names:    make(map[string]string),
+		Orders:   make(map[string]*orderRec),
+		Results:  make(map[string]*resultRec),
+		Lineages: make(map[string]*lineageRec),
 	}
 }
 
@@ -111,6 +147,16 @@ func loadManifest(path string) (*manifest, error) {
 	}
 	if m.Results == nil {
 		m.Results = make(map[string]*resultRec)
+	}
+	if m.Lineages == nil {
+		m.Lineages = make(map[string]*lineageRec)
+	}
+	// Pre-lineage manifests: every named graph becomes a one-version
+	// lineage so version-aware callers see a uniform model.
+	for name, digest := range m.Names {
+		if _, ok := m.Lineages[name]; !ok {
+			m.Lineages[name] = &lineageRec{Versions: []string{digest}}
+		}
 	}
 	return &m, nil
 }

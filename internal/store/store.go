@@ -131,6 +131,11 @@ func Open(cfg Config) (*Store, error) {
 			dropped = true
 		}
 	}
+	// Lineages heal before the name sweep: a vanished tip repoints its
+	// name to the previous surviving version rather than losing it.
+	if s.healAllLineagesLocked() {
+		dropped = true
+	}
 	for name, digest := range man.Names {
 		if _, ok := man.Graphs[digest]; !ok {
 			delete(man.Names, name)
@@ -214,38 +219,13 @@ func (s *Store) Names() map[string]string {
 }
 
 // PutGraph persists g under digest (the content hash of the source
-// bytes), records name as an alias, and makes the graph resident. A
-// digest already present only gains the alias — blobs are immutable.
+// bytes), records name as an alias, and makes the graph resident.
+// Blobs stay immutable and content-addressed; the name, however, is a
+// lineage — uploading different content under an existing name appends
+// a new version to it, exactly like AppendVersion.
 func (s *Store) PutGraph(digest, name string, g *graph.Graph, srcBytes int64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.man.Graphs[digest]; ok {
-		s.man.Names[name] = digest
-		return s.saveManifestLocked()
-	}
-	var fileBytes int64
-	sum := crc32.NewIEEE()
-	err := WriteFileAtomic(s.graphPath(digest), 0o644, func(w io.Writer) error {
-		cw := &countWriter{w: io.MultiWriter(w, sum)}
-		if err := g.WriteBinary(cw); err != nil {
-			return err
-		}
-		fileBytes = cw.n
-		return nil
-	})
-	if err != nil {
-		return fmt.Errorf("store: persisting graph %s: %w", digest, err)
-	}
-	now := time.Now().UTC()
-	s.man.Graphs[digest] = &graphRec{
-		Name: name, Nodes: g.NumNodes(), Edges: g.NumEdges(),
-		SrcBytes: srcBytes, FileBytes: fileBytes,
-		CRC32: fmt.Sprintf("%08x", sum.Sum32()),
-		Added: now, LastAccess: now,
-	}
-	s.man.Names[name] = digest
-	s.admitLocked(digest, g)
-	return s.saveManifestLocked()
+	_, err := s.AppendVersion(name, digest, g, srcBytes)
+	return err
 }
 
 // SetName records (or re-points) a name alias for an existing digest.
@@ -361,7 +341,9 @@ func (s *Store) admitLocked(digest string, g *graph.Graph) {
 }
 
 // dropGraph removes a damaged graph: blob, residency, aliases, its
-// ordering artifacts, and the manifest records.
+// ordering artifacts, and the manifest records. Lineages containing
+// the digest heal first, so a corrupt tip repoints its name to the
+// previous version instead of erasing the whole history.
 func (s *Store) dropGraph(digest string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -370,6 +352,7 @@ func (s *Store) dropGraph(digest string) {
 		delete(s.resident, digest)
 	}
 	delete(s.man.Graphs, digest)
+	s.healLineagesLocked(digest)
 	for name, d := range s.man.Names {
 		if d == digest {
 			delete(s.man.Names, name)

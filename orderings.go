@@ -121,9 +121,31 @@ func PackingFactor(g *Graph, p Permutation) float64 { return order.PackingFactor
 // vertices are placed greedily after them with the same windowed
 // objective. This is the evolving-graph adaptation the paper's
 // discussion calls for — it avoids re-running the full ordering on
-// every batch of insertions.
-func OrderIncremental(g *Graph, base Permutation, opt Options) Permutation {
+// every batch of insertions. A base that is not a valid permutation
+// of a prefix of g's vertices is an error, never a panic.
+func OrderIncremental(g *Graph, base Permutation, opt Options) (Permutation, error) {
 	return core.OrderIncremental(g, base, opt)
+}
+
+// OrderIncrementalCtx is OrderIncremental with cancellation and a
+// dirty set: old vertices whose neighbourhoods changed (endpoints of
+// inserted or deleted edges) are pulled out of the base order and
+// re-placed greedily together with the new vertices, so the repair
+// tolerates deletions, not just appended suffixes. Vertices neither
+// new nor dirty keep their relative order. gorderd's quality monitor
+// drives this as its decay-repair step.
+func OrderIncrementalCtx(ctx context.Context, g *Graph, base Permutation, dirty []NodeID, opt Options) (Permutation, error) {
+	return core.OrderIncrementalCtx(ctx, g, base, dirty, opt)
+}
+
+// ScoreDelta returns Score(gNew, p, w) - Score(gOld, pOld, w) in time
+// proportional to the edit batch rather than the graph, where gNew
+// derives from gOld by the given edge edits plus appended vertices and
+// p extends pOld = p[:gOld.NumNodes()] without moving old vertices —
+// the shape OrderIncrementalCtx produces with a nil dirty set. It is
+// how the daemon's quality monitor tracks F(pi) across mutations.
+func ScoreDelta(gOld, gNew *Graph, p Permutation, w int, added, removed []Edge) int64 {
+	return order.ScoreDelta(gOld, gNew, p, w, added, removed)
 }
 
 // OrderParallel computes a partition-parallel approximation of Gorder

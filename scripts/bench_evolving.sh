@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Runs the evolving-graph experiment (Gorder baseline, ten edit
+# batches absorbed incrementally, then suffix repair vs full
+# recompute on the grown graph) and records the result as
+# BENCH_evolving.json at the repo root.
+#
+#   REPS=5 scripts/bench_evolving.sh      # more repetitions
+#   SCALE=0.1 scripts/bench_evolving.sh   # smaller workload
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/bench -exp evolving \
+	-reps "${REPS:-3}" -scale "${SCALE:-1.0}" -v \
+	-evolving-json BENCH_evolving.json
+
+echo "wrote BENCH_evolving.json"

@@ -73,6 +73,15 @@ GOMAXPROCS=1 go test -count=1 \
 echo "==> store cold/warm smoke (artifact persisted, then served across reopen)"
 go test -race ./internal/store/ -run 'TestStoreColdWarm' -count=1
 
+echo "==> evolving-graph smoke under race (upload, 3 edit batches with deletes, decay repair, query parity on @latest)"
+go test -race -count=1 \
+    -run 'TestMutationEndToEnd|TestMutationAutoRepair|TestLineageSurvivesDaemonRestart' \
+    ./internal/server/
+
+echo "==> examples smoke (evolvinggraph runs the extend/monitor/repair loop end-to-end)"
+go build ./examples/...
+go run ./examples/evolvinggraph >/dev/null
+
 echo "==> query cold/warm smoke (cold computes, warm repeat hits the result cache)"
 go test -race ./internal/query/ -run 'TestQueryColdWarm' -count=1
 
