@@ -1,0 +1,165 @@
+// Command gorderbench drives mixed upload/order/query/edit traffic at
+// a running gorderd and reports per-route latency percentiles (p50 /
+// p90 / p99 / p99.9), throughput, and an error taxonomy where 429s
+// count as load shedding, not failures.
+//
+//	gorderd -addr 127.0.0.1:8080 &
+//	gorderbench -url http://127.0.0.1:8080 -duration 10s -concurrency 4,16
+//
+// Closed loop by default (each worker keeps one request in flight);
+// -rate switches to open loop with latency measured from the arrival
+// schedule, so server queueing is charged to the percentiles.
+// -ingest-compare additionally (or, without -url, only) measures the
+// streaming-vs-buffered ingest peak-memory ratio locally.
+//
+// -assert-zero-errors and -assert-p99-ms turn the run into a gate for
+// CI smokes: exit 1 when the SLO is missed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gorder/internal/loadgen"
+)
+
+// report is the BENCH_serve.json shape.
+type report struct {
+	Generated     string                `json:"generated"`
+	Target        string                `json:"target,omitempty"`
+	Benchmarks    []loadgen.Result      `json:"benchmarks,omitempty"`
+	IngestCompare *loadgen.IngestReport `json:"ingest_compare,omitempty"`
+}
+
+func main() {
+	var (
+		url        = flag.String("url", "", "gorderd base URL (e.g. http://127.0.0.1:8080)")
+		duration   = flag.Duration("duration", 5*time.Second, "wall time per concurrency level")
+		concs      = flag.String("concurrency", "4,16", "comma-separated closed-loop concurrency levels")
+		rate       = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+		mixFlag    = flag.String("mix", "", "operation mix as query=12,order=2,upload=1,edit=1")
+		tenants    = flag.String("tenants", "", "comma-separated X-Tenant values rotated across requests")
+		graphName  = flag.String("graph", "bench", "name of the target graph (uploaded if absent)")
+		nodes      = flag.Int("nodes", 2000, "node count of the generated target graph")
+		seed       = flag.Uint64("seed", 1, "RNG seed for the mix, sources, and generated graphs")
+		jsonOut    = flag.String("json", "", "write the report JSON to this file ('' = stdout)")
+		benchName  = flag.String("name", "mixed", "benchmark name prefix in the report")
+		zeroErrors = flag.Bool("assert-zero-errors", false, "exit 1 if any run saw a server or network error")
+		p99Bound   = flag.Float64("assert-p99-ms", 0, "exit 1 if any run's query p99 exceeds this many ms (0 = no bound)")
+		ingestCmp  = flag.Bool("ingest-compare", false, "measure streaming vs buffered ingest peak memory locally")
+		ingestN    = flag.Int("ingest-nodes", 100_000, "node count for -ingest-compare (~12x edges)")
+	)
+	flag.Parse()
+
+	if *url == "" && !*ingestCmp {
+		fmt.Fprintln(os.Stderr, "gorderbench: -url is required (or -ingest-compare for the local measurement)")
+		os.Exit(2)
+	}
+	mix, err := loadgen.ParseMix(*mixFlag)
+	if err != nil {
+		fatal(err)
+	}
+	var tenantList []string
+	if *tenants != "" {
+		tenantList = strings.Split(*tenants, ",")
+	}
+
+	rep := report{Generated: time.Now().UTC().Format(time.RFC3339), Target: *url}
+	failed := false
+
+	if *url != "" {
+		if err := loadgen.EnsureGraph(nil, *url, *graphName, *nodes, *seed); err != nil {
+			fatal(err)
+		}
+		for _, c := range parseLevels(*concs) {
+			res, err := loadgen.Run(loadgen.Config{
+				URL:         *url,
+				Duration:    *duration,
+				Concurrency: c,
+				Rate:        *rate,
+				Mix:         mix,
+				Tenants:     tenantList,
+				Graph:       *graphName,
+				Nodes:       *nodes,
+				Seed:        *seed,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			res.Name = fmt.Sprintf("%s-c%d", *benchName, c)
+			if *rate > 0 {
+				res.Name = fmt.Sprintf("%s-open-r%g-c%d", *benchName, *rate, c)
+			}
+			rep.Benchmarks = append(rep.Benchmarks, res)
+			fmt.Fprintf(os.Stderr, "%s: %d requests, %.0f ok/s, %d shed, %d errors\n",
+				res.Name, res.Requests, res.ThroughputRPS, res.Shed, res.Errors)
+			if *zeroErrors && res.Errors > 0 {
+				fmt.Fprintf(os.Stderr, "gorderbench: %s saw %d errors with -assert-zero-errors\n", res.Name, res.Errors)
+				failed = true
+			}
+			if *p99Bound > 0 {
+				for _, rt := range res.Routes {
+					if rt.Route == loadgen.RouteQuery && float64(rt.P99Us)/1000 > *p99Bound {
+						fmt.Fprintf(os.Stderr, "gorderbench: %s query p99 %.1fms exceeds the %.1fms bound\n",
+							res.Name, float64(rt.P99Us)/1000, *p99Bound)
+						failed = true
+					}
+				}
+			}
+		}
+	}
+
+	if *ingestCmp {
+		ir, err := loadgen.IngestCompare(*ingestN, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		rep.IngestCompare = &ir
+		fmt.Fprintf(os.Stderr, "ingest: %d edges, buffered peak %.1f MiB vs streamed %.1f MiB (%.2fx)\n",
+			ir.Edges, float64(ir.BufferedPeakB)/(1<<20), float64(ir.StreamingPeakB)/(1<<20), ir.Reduction)
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	out = append(out, '\n')
+	if *jsonOut == "" {
+		os.Stdout.Write(out)
+	} else if err := os.WriteFile(*jsonOut, out, 0o644); err != nil {
+		fatal(err)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parseLevels parses the -concurrency list, tolerating blanks.
+func parseLevels(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("bad -concurrency level %q", part))
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		out = []int{4}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gorderbench:", err)
+	os.Exit(1)
+}

@@ -62,6 +62,7 @@ import (
 	"syscall"
 	"time"
 
+	"gorder/internal/fair"
 	"gorder/internal/server"
 	"gorder/internal/store"
 )
@@ -77,6 +78,11 @@ func main() {
 		storeDir  = flag.String("data-dir", "", "persistent store directory for graphs and ordering artifacts ('' = in-memory only)")
 		memBudget = flag.Int64("mem-budget", 0, "byte budget for graphs held resident in memory; evicted graphs reload from the store (0 = unlimited; needs -data-dir)")
 		maxUpload = flag.Int64("max-upload", 32<<20, "max graph upload size in bytes")
+		maxUpB    = flag.Int64("max-upload-bytes", 0, "alias for -max-upload (takes precedence when set)")
+		tenRate   = flag.Float64("tenant-rate", 0, "per-tenant request rate limit in req/s, keyed by the X-Tenant header (0 disables)")
+		tenBurst  = flag.Int("tenant-burst", 0, "per-tenant rate-limit burst (0 = one second of -tenant-rate)")
+		tenWts    = flag.String("tenant-weights", "", "fair-queueing tenant weights as name=weight,... (unlisted tenants weigh 1)")
+		tenQueue  = flag.Int("tenant-queue", 0, "max queued jobs per tenant (0 = no per-tenant cap below -queue)")
 		manifest  = flag.String("manifest", "gorderd.manifest.json", "queued-job manifest persisted on shutdown ('' disables)")
 		queryConc = flag.Int("query-concurrency", 0, "concurrent kernel queries (0 = 8); independent of -workers")
 		queryTO   = flag.Duration("query-timeout", 30*time.Second, "default per-query deadline")
@@ -95,6 +101,15 @@ func main() {
 	}
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	if *maxUpB > 0 {
+		*maxUpload = *maxUpB
+	}
+	weights, err := fair.ParseWeights(*tenWts)
+	if err != nil {
+		log.Error("parsing -tenant-weights", "err", err)
+		os.Exit(1)
+	}
+
 	var st *store.Store
 	if *storeDir != "" {
 		var err error
@@ -112,13 +127,17 @@ func main() {
 
 	srv := server.New(server.Config{
 		Pool: server.PoolConfig{
-			Workers:        *workers,
-			QueueDepth:     *queue,
-			DefaultTimeout: *timeout,
+			Workers:          *workers,
+			QueueDepth:       *queue,
+			DefaultTimeout:   *timeout,
+			TenantQueueDepth: *tenQueue,
 		},
 		MaxUpload:         *maxUpload,
 		Logger:            log,
 		Store:             st,
+		TenantRate:        *tenRate,
+		TenantBurst:       *tenBurst,
+		TenantWeights:     weights,
 		QueryConcurrency:  *queryConc,
 		QueryTimeout:      *queryTO,
 		QueryResultBudget: *queryCach,

@@ -1,0 +1,290 @@
+// Package fair holds the traffic-policy primitives of the serving
+// tier: per-tenant token-bucket rate limiting, weighted fair queueing
+// (stride scheduling) between tenants, a fair slot gate for read-path
+// admission, and the EWMA the load shedders estimate wait times with.
+//
+// The package is deliberately separate from internal/server: the HTTP
+// layer decides *where* policy applies (which routes, which headers)
+// and this package decides *how* (when a request is admitted, which
+// tenant goes next). CI greps keep the policy arithmetic out of the
+// handler files.
+package fair
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultTenant is the key used for traffic that carries no tenant
+// identity (no X-Tenant header).
+const DefaultTenant = "default"
+
+// maxTenantState bounds the per-tenant maps a hostile client could
+// grow by inventing tenant names; past it, state for idle tenants is
+// discarded (they simply start fresh, which for a limiter means a
+// full burst — safe, and bounded memory matters more).
+const maxTenantState = 4096
+
+// ---- token-bucket rate limiting ----------------------------------------
+
+// Limiter applies a per-tenant token-bucket rate limit: every tenant
+// gets its own bucket of `burst` tokens refilled at `rate` tokens per
+// second. Rate <= 0 disables limiting (Allow always admits).
+type Limiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time // injectable clock for tests
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter builds a limiter. burst <= 0 defaults to
+// max(1, ceil(rate)) — one second of traffic.
+func NewLimiter(rate float64, burst int) *Limiter {
+	b := float64(burst)
+	if burst <= 0 {
+		b = math.Max(1, math.Ceil(rate))
+	}
+	return &Limiter{
+		rate:    rate,
+		burst:   b,
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// Allow takes one token from tenant's bucket. When the bucket is
+// empty it reports false plus how long until the next token exists —
+// the Retry-After the HTTP layer should send with the 429.
+func (l *Limiter) Allow(tenant string) (ok bool, retryAfter time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[tenant]
+	if b == nil {
+		if len(l.buckets) >= maxTenantState {
+			l.evictIdleLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	}
+	// Refill for the time elapsed since the last take, capped at burst.
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(l.burst, b.tokens+dt*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// evictIdleLocked drops buckets that have been full (idle long enough
+// to have refilled completely) — their state is indistinguishable from
+// a fresh bucket anyway.
+func (l *Limiter) evictIdleLocked(now time.Time) {
+	for k, b := range l.buckets {
+		dt := now.Sub(b.last).Seconds()
+		if math.Min(l.burst, b.tokens+dt*l.rate) >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+	// Hostile churn can keep every bucket hot; bounded memory wins over
+	// perfect accounting, so drop arbitrary entries past the cap.
+	for k := range l.buckets {
+		if len(l.buckets) < maxTenantState {
+			break
+		}
+		delete(l.buckets, k)
+	}
+}
+
+// ---- weighted stride scheduling -----------------------------------------
+
+// strideOne is the stride numerator: a tenant of weight w advances its
+// pass by strideOne/w per grant, so higher weights are picked
+// proportionally more often.
+const strideOne = 1 << 20
+
+// Weights maps tenant name to scheduling weight. Missing tenants get
+// weight 1; weights below 1 are treated as 1.
+type Weights map[string]int
+
+func (w Weights) of(tenant string) int64 {
+	if v, ok := w[tenant]; ok && v > 1 {
+		return int64(v)
+	}
+	return 1
+}
+
+// ParseWeights parses a "name=weight,name=weight" flag value.
+func ParseWeights(s string) (Weights, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	w := make(Weights)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("fair: weight %q is not name=weight", part)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("fair: weight %q must be a positive integer", part)
+		}
+		w[name] = n
+	}
+	return w, nil
+}
+
+// MultiQueue is a weighted fair FIFO-of-FIFOs: items are pushed per
+// tenant and popped in stride order — each tenant's items stay FIFO,
+// and tenants share the pop rate in proportion to their weights, so a
+// tenant that floods its own queue cannot delay another tenant's items
+// by more than one weighted round. Not safe for concurrent use; the
+// owner locks.
+type MultiQueue[T any] struct {
+	weights Weights
+	queues  map[string][]T
+	pass    map[string]int64
+	vt      int64 // virtual time: pass of the most recent grant
+	size    int
+}
+
+// NewMultiQueue builds an empty queue with the given tenant weights
+// (nil = all weight 1).
+func NewMultiQueue[T any](weights Weights) *MultiQueue[T] {
+	return &MultiQueue[T]{
+		weights: weights,
+		queues:  make(map[string][]T),
+		pass:    make(map[string]int64),
+	}
+}
+
+// Push appends v to tenant's queue. A tenant (re)joining after idling
+// starts at the current virtual time, so it cannot burn banked credit
+// to monopolize the scheduler.
+func (q *MultiQueue[T]) Push(tenant string, v T) {
+	if len(q.queues[tenant]) == 0 {
+		if p, ok := q.pass[tenant]; !ok || p < q.vt {
+			q.pass[tenant] = q.vt
+		}
+		if len(q.pass) > maxTenantState {
+			// Keep only passes of tenants with queued items; the rest
+			// restart from the virtual time anyway.
+			for k := range q.pass {
+				if len(q.queues[k]) == 0 {
+					delete(q.pass, k)
+				}
+			}
+		}
+	}
+	q.queues[tenant] = append(q.queues[tenant], v)
+	q.size++
+}
+
+// Pop removes and returns the next item under weighted fair order:
+// the head of the non-empty tenant queue with the smallest pass
+// (ties broken by tenant name for determinism).
+func (q *MultiQueue[T]) Pop() (tenant string, v T, ok bool) {
+	if q.size == 0 {
+		return "", v, false
+	}
+	first := true
+	var best string
+	var bestPass int64
+	for t, items := range q.queues {
+		if len(items) == 0 {
+			continue
+		}
+		p := q.pass[t]
+		if first || p < bestPass || (p == bestPass && t < best) {
+			first, best, bestPass = false, t, p
+		}
+	}
+	items := q.queues[best]
+	v = items[0]
+	var zero T
+	items[0] = zero // release the reference for GC
+	if len(items) == 1 {
+		delete(q.queues, best)
+	} else {
+		q.queues[best] = items[1:]
+	}
+	q.size--
+	q.vt = bestPass
+	q.pass[best] = bestPass + strideOne/q.weights.of(best)
+	return best, v, true
+}
+
+// Len reports the total queued item count.
+func (q *MultiQueue[T]) Len() int { return q.size }
+
+// TenantLen reports one tenant's queued item count.
+func (q *MultiQueue[T]) TenantLen(tenant string) int { return len(q.queues[tenant]) }
+
+// Tenants returns the tenants with queued items, sorted.
+func (q *MultiQueue[T]) Tenants() []string {
+	out := make([]string, 0, len(q.queues))
+	for t, items := range q.queues {
+		if len(items) > 0 {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---- EWMA ---------------------------------------------------------------
+
+// EWMA is a concurrency-safe exponentially weighted moving average,
+// used to estimate service times for wait-estimate load shedding.
+// The zero value (alpha 0) uses a default smoothing of 0.2.
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	v     float64
+	seen  bool
+}
+
+// NewEWMA builds an EWMA with the given smoothing factor in (0, 1].
+func NewEWMA(alpha float64) *EWMA { return &EWMA{alpha: alpha} }
+
+// Observe folds in one sample.
+func (e *EWMA) Observe(v float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	a := e.alpha
+	if a <= 0 || a > 1 {
+		a = 0.2
+	}
+	if !e.seen {
+		e.v, e.seen = v, true
+		return
+	}
+	e.v = a*v + (1-a)*e.v
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.v
+}

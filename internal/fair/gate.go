@@ -1,0 +1,132 @@
+package fair
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrWaitersFull reports that a tenant's waiting room is at capacity —
+// the signal the HTTP layer maps to 429.
+var ErrWaitersFull = errors.New("fair: tenant waiting room full")
+
+// Gate is a weighted-fair slot gate: up to `slots` holders at once,
+// with waiters queued per tenant and granted in stride order. A
+// flooding tenant therefore cannot push a quiet tenant's wait past one
+// weighted round — with equal weights, at most one grant from every
+// other waiting tenant plus one in-flight request sits between a quiet
+// tenant's arrival and its grant, no matter how many waiters the
+// flooder has parked. Each tenant's waiting room is capped; past the
+// cap its own new arrivals are rejected without touching anyone else.
+type Gate struct {
+	mu      sync.Mutex // guards everything below; grants close waiter channels under it
+	free    int
+	perCap  int
+	q       *MultiQueue[*waiter]
+	live    map[string]int // un-granted, un-canceled waiters per tenant
+	waiting int
+}
+
+type waiter struct {
+	tenant   string
+	ch       chan struct{}
+	granted  bool
+	canceled bool
+}
+
+// NewGate builds a gate with `slots` concurrent holders, a per-tenant
+// waiting-room cap of perTenantCap, and the given scheduling weights.
+func NewGate(slots, perTenantCap int, weights Weights) *Gate {
+	if slots < 1 {
+		slots = 1
+	}
+	if perTenantCap < 1 {
+		perTenantCap = 1
+	}
+	return &Gate{
+		free:   slots,
+		perCap: perTenantCap,
+		q:      NewMultiQueue[*waiter](weights),
+		live:   make(map[string]int),
+	}
+}
+
+// Acquire obtains a slot for tenant, waiting fairly if none is free.
+// It returns ErrWaitersFull when the tenant's waiting room is at
+// capacity and ctx.Err() when the context expires first. A nil return
+// must be paired with Release.
+func (g *Gate) Acquire(ctx context.Context, tenant string) error {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	g.mu.Lock()
+	if g.free > 0 && g.waiting == 0 {
+		g.free--
+		g.mu.Unlock()
+		return nil
+	}
+	if g.live[tenant] >= g.perCap {
+		g.mu.Unlock()
+		return ErrWaitersFull
+	}
+	w := &waiter{tenant: tenant, ch: make(chan struct{})}
+	g.q.Push(tenant, w)
+	g.live[tenant]++
+	g.waiting++
+	g.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		if w.granted {
+			// The grant raced our cancellation: the slot is ours, but the
+			// caller is leaving, so hand it straight to the next waiter.
+			g.grantNextLocked()
+		} else {
+			w.canceled = true
+			g.live[tenant]--
+			g.waiting--
+		}
+		g.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot, handing it to the next waiter in weighted
+// fair order if any.
+func (g *Gate) Release() {
+	g.mu.Lock()
+	g.grantNextLocked()
+	g.mu.Unlock()
+}
+
+// grantNextLocked gives one slot to the next un-canceled waiter, or
+// banks it as free when nobody waits. Canceled waiters are discarded
+// lazily here — their tenant accounting was already unwound.
+func (g *Gate) grantNextLocked() {
+	for {
+		_, w, ok := g.q.Pop()
+		if !ok {
+			g.free++
+			return
+		}
+		if w.canceled {
+			continue
+		}
+		w.granted = true
+		g.live[w.tenant]--
+		g.waiting--
+		close(w.ch)
+		return
+	}
+}
+
+// Waiting reports the number of live waiters — the queue length the
+// load shedder turns into a wait estimate.
+func (g *Gate) Waiting() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.waiting
+}

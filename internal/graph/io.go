@@ -144,6 +144,21 @@ func readEdgeListSerial(data []byte) (*Graph, error) {
 // sequence of a serial parse; per-chunk line counts reconstruct global
 // line numbers for error messages.
 func readEdgeListParallel(data []byte, workers int) (*Graph, error) {
+	shards, maxID, _, errLine, err := parseBlock(data, workers)
+	if err != nil {
+		return nil, fmt.Errorf("graph: line %d: %w", errLine, err)
+	}
+	return build(int(maxID+1), shards, false), nil
+}
+
+// parseBlock parses one block of edge-list text into per-worker edge
+// shards, splitting it into line-aligned chunks parsed concurrently.
+// Shard concatenation order equals the serial edge sequence. It
+// returns the shards, the largest endpoint seen (-1 if none), the
+// number of lines consumed, and on failure the bare parse error with
+// its block-local 1-based line number. The streaming loader calls this
+// once per buffered block; the buffered loader once for the whole file.
+func parseBlock(data []byte, workers int) (shards [][]Edge, maxID int64, lines, errLine int, err error) {
 	starts := chunkStarts(data, workers)
 	type chunkResult struct {
 		edges   []Edge
@@ -186,21 +201,20 @@ func readEdgeListParallel(data []byte, workers int) (*Graph, error) {
 	// The earliest erroring chunk holds the first bad line, and every
 	// chunk before it parsed to completion, so its line count prefix is
 	// exact — the reported line number matches the serial parse.
-	lineBase := 0
-	maxID := int64(-1)
-	shards := make([][]Edge, 0, len(chunks))
+	maxID = -1
+	shards = make([][]Edge, 0, len(chunks))
 	for i := range chunks {
 		c := &chunks[i]
 		if c.err != nil {
-			return nil, fmt.Errorf("graph: line %d: %w", lineBase+c.errLine, c.err)
+			return nil, 0, 0, lines + c.errLine, c.err
 		}
-		lineBase += c.lines
+		lines += c.lines
 		if c.maxID > maxID {
 			maxID = c.maxID
 		}
 		shards = append(shards, c.edges)
 	}
-	return build(int(maxID+1), shards, false), nil
+	return shards, maxID, lines, 0, nil
 }
 
 // chunkStarts returns strictly increasing chunk start offsets, each

@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// chunkyReader returns at most max bytes per Read, exercising the
+// partial-fill path of the streaming loader.
+type chunkyReader struct {
+	data []byte
+	max  int
+}
+
+func (r *chunkyReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, fmt.Errorf("unexpected read past EOF")
+	}
+	n := min(min(len(p), r.max), len(r.data))
+	copy(p, r.data[:n])
+	r.data = r.data[n:]
+	if len(r.data) == 0 {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// randomEdgeList renders a reproducible messy edge list: comments,
+// blank lines, tabs, CRLF on some lines, no trailing newline when odd.
+func randomEdgeList(seed int64, n, m int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString("# header comment\n\n% konect-style comment\n")
+	for i := 0; i < m; i++ {
+		sep := " "
+		if rng.Intn(3) == 0 {
+			sep = "\t"
+		}
+		fmt.Fprintf(&b, "%d%s%d", rng.Intn(n), sep, rng.Intn(n))
+		if rng.Intn(5) == 0 {
+			b.WriteString("\r\n")
+		} else {
+			b.WriteString("\n")
+		}
+		if rng.Intn(17) == 0 {
+			b.WriteString("\n# interior comment\n")
+		}
+	}
+	data := []byte(b.String())
+	if seed%2 == 1 {
+		data = bytes.TrimRight(data, "\n") // exercise the unterminated final line
+	}
+	return data
+}
+
+// TestStreamMatchesSerial: the streaming loader must produce a graph
+// bit-identical to the serial oracle on the same bytes, across buffer
+// sizes that force single- and many-round parses and reader chunk
+// sizes that force partial fills.
+func TestStreamMatchesSerial(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		data := randomEdgeList(seed, 500, 3000)
+		want, err := readEdgeListSerial(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bufSize := range []int{4 << 10, 8 << 10, 1 << 20} {
+			for _, readMax := range []int{1 << 30, 1000, 7} {
+				got, err := ReadEdgeListStreamBuffer(&chunkyReader{data: data, max: readMax}, bufSize)
+				if err != nil {
+					t.Fatalf("seed %d buf %d read %d: %v", seed, bufSize, readMax, err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("seed %d buf %d read %d: stream CSR differs from serial", seed, bufSize, readMax)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamErrorLineNumbers: a bad line deep in the input must report
+// the same global line number the buffered loaders report, even when
+// the error lands many buffer rounds in.
+func TestStreamErrorLineNumbers(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("# c\n")
+	for i := 0; i < 3000; i++ {
+		fmt.Fprintf(&b, "%d %d\n", i%97, (i+1)%97)
+	}
+	b.WriteString("12 oops\n1 2\n")
+	data := []byte(b.String())
+
+	_, serialErr := readEdgeListSerial(data)
+	if serialErr == nil {
+		t.Fatal("serial parse accepted the bad line")
+	}
+	_, streamErr := ReadEdgeListStreamBuffer(bytes.NewReader(data), 4<<10)
+	if streamErr == nil {
+		t.Fatal("stream parse accepted the bad line")
+	}
+	if streamErr.Error() != serialErr.Error() {
+		t.Fatalf("stream error %q != serial error %q", streamErr, serialErr)
+	}
+}
+
+func TestStreamOverlongLine(t *testing.T) {
+	data := []byte("1 2\n" + strings.Repeat("9", 10<<10)) // one 10 KiB "line"
+	_, err := ReadEdgeListStreamBuffer(&chunkyReader{data: data, max: 512}, 4<<10)
+	if err == nil || !strings.Contains(err.Error(), "streaming buffer") {
+		t.Fatalf("overlong line not refused: %v", err)
+	}
+}
+
+func TestStreamEmptyAndCommentOnly(t *testing.T) {
+	for _, in := range []string{"", "# only comments\n\n% more\n"} {
+		g, err := ReadEdgeListStreamBuffer(strings.NewReader(in), 4<<10)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if g.NumNodes() != 0 || g.NumEdges() != 0 {
+			t.Fatalf("%q: got %d nodes %d edges", in, g.NumNodes(), g.NumEdges())
+		}
+	}
+}
+
+func TestStreamRejectsOversizeEndpoint(t *testing.T) {
+	_, err := ReadEdgeListStreamBuffer(strings.NewReader("1 4294967296\n"), 4<<10)
+	if err == nil || !strings.Contains(err.Error(), "NodeID") {
+		t.Fatalf("oversize endpoint not refused: %v", err)
+	}
+}
+
+func TestSniffBinary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FromEdges(3, []Edge{{0, 1}, {1, 2}}).WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !SniffBinary(buf.Bytes()) {
+		t.Fatal("binary CSR bytes not recognized")
+	}
+	if SniffBinary([]byte("0 1\n1 2\n")) {
+		t.Fatal("text edge list sniffed as binary")
+	}
+	if SniffBinary([]byte("GORD")) {
+		t.Fatal("short prefix sniffed as binary")
+	}
+}
+
+// TestStreamParallelWorkers forces the sharded path inside each block.
+func TestStreamParallelWorkers(t *testing.T) {
+	SetIngestParallelism(4)
+	defer SetIngestParallelism(0)
+	data := randomEdgeList(2, 300, 2000)
+	want, err := readEdgeListSerial(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeListStreamBuffer(bytes.NewReader(data), 4<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("forced-parallel stream CSR differs from serial")
+	}
+}

@@ -1,0 +1,121 @@
+// Package loadgen drives mixed upload/order/query/edit traffic at a
+// running gorderd and reports per-route latency percentiles,
+// throughput, and an error taxonomy — the client half of the serving
+// tier's SLO story. It also hosts the ingest peak-memory comparison
+// that quantifies what streaming upload buys over whole-body
+// buffering.
+package loadgen
+
+import "math/bits"
+
+// Hist is a log-bucketed latency histogram: exact counts below 2^5
+// microseconds, then 32 sub-buckets per power of two — bounded
+// relative error (~3%) at any magnitude, fixed memory, O(1) record.
+// Values are microseconds. Not safe for concurrent use; the collector
+// owns one per worker and merges.
+type Hist struct {
+	counts []uint64
+	total  uint64
+	sum    float64
+	max    int64
+}
+
+// subBits is the per-octave resolution: 2^subBits sub-buckets.
+const subBits = 5
+
+// bucketOf maps a value to its bucket index: identity below
+// 2^subBits, then (octave, sub-bucket) above.
+func bucketOf(v int64) int {
+	if v < 1<<subBits {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1
+	sub := (v >> uint(exp-subBits)) & (1<<subBits - 1)
+	return (exp-subBits+1)<<subBits + int(sub)
+}
+
+// bucketFloor is the smallest value mapping to bucket index i.
+func bucketFloor(i int) int64 {
+	if i < 1<<subBits {
+		return int64(i)
+	}
+	block := i >> subBits
+	sub := int64(i & (1<<subBits - 1))
+	exp := uint(block + subBits - 1)
+	return 1<<exp + sub<<(exp-subBits)
+}
+
+// Record folds one microsecond sample in.
+func (h *Hist) Record(us int64) {
+	if us < 0 {
+		us = 0
+	}
+	i := bucketOf(us)
+	if i >= len(h.counts) {
+		grown := make([]uint64, i+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += float64(us)
+	if us > h.max {
+		h.max = us
+	}
+}
+
+// Merge adds o's samples into h.
+func (h *Hist) Merge(o *Hist) {
+	if len(o.counts) > len(h.counts) {
+		grown := make([]uint64, len(o.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count reports the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.total }
+
+// Mean reports the average sample in microseconds.
+func (h *Hist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Max reports the largest recorded sample.
+func (h *Hist) Max() int64 { return h.max }
+
+// Quantile reports the q-quantile (0 < q <= 1) in microseconds: the
+// floor of the bucket holding the q-th sample, clamped to the
+// recorded max so a sparse top octave cannot overreport.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total-1 {
+		return h.max
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			v := bucketFloor(i)
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}

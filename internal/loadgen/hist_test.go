@@ -1,0 +1,92 @@
+package loadgen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHistQuantileAccuracy: against a known uniform sample, every
+// reported quantile must sit within one log-bucket (~3%) of exact.
+func TestHistQuantileAccuracy(t *testing.T) {
+	var h Hist
+	rng := rand.New(rand.NewSource(7))
+	n := 200_000
+	vals := make([]int64, n)
+	for i := range vals {
+		v := int64(rng.Intn(1_000_000))
+		vals[i] = v
+		h.Record(v)
+	}
+	if h.Count() != uint64(n) {
+		t.Fatalf("count %d, want %d", h.Count(), n)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := float64(h.Quantile(q))
+		want := q * 1_000_000 // uniform: quantile ~ q*max
+		if got < want*0.93 || got > want*1.07 {
+			t.Errorf("q%.3f = %.0f, want within 7%% of %.0f", q, got, want)
+		}
+	}
+}
+
+// TestHistSmallAndEdge: exact buckets below 32, empty hist, merge.
+func TestHistSmallAndEdge(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 {
+		t.Fatal("empty hist must report zeros")
+	}
+	for i := int64(0); i < 32; i++ {
+		h.Record(i)
+	}
+	if got := h.Quantile(0.5); got < 14 || got > 17 {
+		t.Fatalf("median of 0..31 = %d", got)
+	}
+	var a, b Hist
+	a.Record(100)
+	b.Record(1_000_000)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Max() != 1_000_000 {
+		t.Fatalf("merge lost samples: count %d max %d", a.Count(), a.Max())
+	}
+	if got := a.Quantile(1); got != 1_000_000 {
+		t.Fatalf("p100 = %d, want the max", got)
+	}
+}
+
+// TestBucketMonotone: bucketOf must be monotone and bucketFloor its
+// lower inverse.
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 1<<16; v++ {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous %d", v, b, prev)
+		}
+		if f := bucketFloor(b); f > v {
+			t.Fatalf("bucketFloor(%d) = %d > %d", b, f, v)
+		}
+		prev = b
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("query=6,order=2,upload=1,edit=1")
+	if err != nil || m != (Mix{Query: 6, Order: 2, Upload: 1, Edit: 1}) {
+		t.Fatalf("ParseMix: %+v, %v", m, err)
+	}
+	if m, err = ParseMix(""); err != nil || m != DefaultMix {
+		t.Fatalf("empty mix: %+v, %v", m, err)
+	}
+	for _, bad := range []string{"query", "query=-1", "bogus=3", "query=0,order=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+	counts := map[string]int{}
+	for i := 0; i < 10; i++ {
+		counts[DefaultMix.pick(i%DefaultMix.total())]++
+	}
+	if counts[RouteQuery] == 0 {
+		t.Fatal("pick never chose the dominant route")
+	}
+}

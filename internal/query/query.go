@@ -416,14 +416,21 @@ func (e *Executor) hubSource(ref, digest string, st *groupState) (int, *Error) {
 	return hub, nil
 }
 
-// naturalGraph resolves the natural-order graph into st.
+// naturalGraph resolves the natural-order graph into st. The digest
+// was pinned at admission; if a concurrent edit advanced ref to a
+// newer version since, the pinned version is still registered under
+// its immutable ID, so fall back to resolving by digest — each query
+// serves a consistent snapshot instead of 404ing mid-edit.
 func (e *Executor) naturalGraph(ref, digest string, st *groupState) (*graph.Graph, *Error) {
 	if st.natural != nil && st.digest == digest {
 		return st.natural, nil
 	}
 	g, d, ok := e.cfg.Source.Resolve(ref)
 	if !ok || d != digest {
-		return nil, errf(404, "unknown_graph", "graph %q is no longer loadable", ref)
+		g, d, ok = e.cfg.Source.Resolve(digest)
+		if !ok || d != digest {
+			return nil, errf(404, "unknown_graph", "graph %q is no longer loadable", ref)
+		}
 	}
 	st.natural, st.digest = g, digest
 	return g, nil
@@ -457,6 +464,25 @@ func (e *Executor) orderedGraphFor(req Request, digest string, st *groupState) (
 		return st.og, used, nil
 	}
 	perm, ok := e.cfg.Store.GetOrder(digest, method, optKey, g.NumNodes())
+	if !ok && req.Order == "" {
+		// A repair job can replace the latest artifact between
+		// chooseOrdering listing it and the read here; re-choose once
+		// against the current latest before giving up.
+		if method, optKey, _, qerr = e.chooseOrdering(digest, req.Order); qerr != nil {
+			return nil, OrderingUsed{}, qerr
+		}
+		used = OrderingUsed{Method: method, Key: optKey, Source: srcTag}
+		if method == "natural" {
+			st.og, st.used = &orderedGraph{g: g}, used
+			return st.og, used, nil
+		}
+		graphKey = digest + "|" + method + "|" + optKey
+		if v, cached := e.graphs.get(graphKey); cached {
+			st.og, st.used = v.(*orderedGraph), used
+			return st.og, used, nil
+		}
+		perm, ok = e.cfg.Store.GetOrder(digest, method, optKey, g.NumNodes())
+	}
 	if !ok {
 		return nil, OrderingUsed{}, errf(409, "order_not_ready",
 			"ordering artifact %s/%s for graph %s is gone; re-run the ordering job",

@@ -16,10 +16,13 @@ import (
 )
 
 // fakeSource serves fixed graphs by name or digest, standing in for
-// the server's registry.
+// the server's registry. onStat, when set, runs after each Stat —
+// tests use it to advance a name to a new version mid-request, the
+// interleave a concurrent edit produces.
 type fakeSource struct {
 	graphs map[string]*graph.Graph // digest -> graph
 	names  map[string]string       // name -> digest
+	onStat func()
 }
 
 func newFakeSource() *fakeSource {
@@ -45,6 +48,9 @@ func (f *fakeSource) Stat(ref string) (string, int, bool) {
 	d, g, ok := f.resolve(ref)
 	if !ok {
 		return "", 0, false
+	}
+	if f.onStat != nil {
+		f.onStat()
 	}
 	return d, g.NumNodes(), true
 }
@@ -456,5 +462,40 @@ func TestTopKSelection(t *testing.T) {
 		if !selected[v] && want.Value(v) > cutoff {
 			t.Fatalf("vertex %d (%v) beats the top-K cutoff %v", v, want.Value(v), cutoff)
 		}
+	}
+}
+
+// TestQueryServesPinnedVersionDuringEdit: runOne pins a digest via
+// Stat at admission; if a concurrent edit advances the name before
+// the graph loads, the query must fall back to the pinned version's
+// immutable ID and answer from that snapshot instead of 404ing.
+func TestQueryServesPinnedVersionDuringEdit(t *testing.T) {
+	g1 := gen.BarabasiAlbert(300, 3, 5)
+	g2 := gen.BarabasiAlbert(400, 3, 6)
+	src := newFakeSource()
+	src.add("web", "d1", g1)
+	src.graphs["d2"] = g2
+	// The "edit" lands between the admission Stat and the graph load:
+	// every Stat on "web" repoints the name at the new version.
+	src.onStat = func() { src.names["web"] = "d2" }
+	ex := New(Config{Source: src})
+
+	source := 0
+	resp, qerr := ex.Run(context.Background(), Request{Graph: "web", Kernel: "bfs", Source: &source})
+	if qerr != nil {
+		t.Fatalf("query during version advance: %d %s: %s", qerr.Status, qerr.Code, qerr.Message)
+	}
+	if resp.Graph != "d1" {
+		t.Fatalf("served digest %q, want the pinned version d1", resp.Graph)
+	}
+
+	// The next request resolves the advanced name up front and serves
+	// the new version.
+	resp, qerr = ex.Run(context.Background(), Request{Graph: "web", Kernel: "bfs", Source: &source})
+	if qerr != nil {
+		t.Fatalf("query after version advance: %d %s: %s", qerr.Status, qerr.Code, qerr.Message)
+	}
+	if resp.Graph != "d2" {
+		t.Fatalf("served digest %q, want the advanced version d2", resp.Graph)
 	}
 }

@@ -6,9 +6,9 @@ import (
 	"errors"
 	"net/http"
 	"strings"
-	"sync/atomic"
 	"time"
 
+	"gorder/internal/fair"
 	"gorder/internal/graph"
 	"gorder/internal/query"
 	"gorder/internal/registry"
@@ -42,48 +42,12 @@ func (s regSource) Resolve(ref string) (*graph.Graph, string, bool) {
 	return g, info.ID, ok
 }
 
-// readGate is the query tier's admission control: a slot semaphore
-// sized to the read concurrency limit plus a bounded waiting room,
-// mirroring the job queue's depth-cap discipline. Full waiting room →
-// 429, so overload degrades into fast rejections instead of a convoy.
-type readGate struct {
-	slots   chan struct{}
-	waitCap int64
-	waiting atomic.Int64
-}
-
-func newReadGate(concurrency, waitCap int) *readGate {
-	return &readGate{
-		slots:   make(chan struct{}, concurrency),
-		waitCap: int64(waitCap),
-	}
-}
-
-// errGateFull reports a full waiting room.
-var errGateFull = errors.New("query gate full")
-
-func (g *readGate) acquire(ctx context.Context) error {
-	select {
-	case g.slots <- struct{}{}:
-		return nil
-	default:
-	}
-	if g.waiting.Add(1) > g.waitCap {
-		g.waiting.Add(-1)
-		return errGateFull
-	}
-	defer g.waiting.Add(-1)
-	select {
-	case g.slots <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
-
-func (g *readGate) release() { <-g.slots }
-
-// initQuery builds the executor, gate, and metrics; called from New.
+// initQuery builds the executor, the weighted-fair read gate, and the
+// metrics; called from New. The gate admits queries in per-tenant
+// stride order (internal/fair.Gate), so a tenant flooding the read
+// path cannot push another tenant's queries past one weighted round;
+// each tenant's waiting room is capped at QueryWaitCap → 429, so
+// overload degrades into fast rejections instead of a convoy.
 func (s *Server) initQuery(m *Metrics) {
 	s.Query = query.New(query.Config{
 		Source:       regSource{s.Reg},
@@ -99,7 +63,9 @@ func (s *Server) initQuery(m *Metrics) {
 	if waitCap <= 0 {
 		waitCap = defaultQueryWaitCap
 	}
-	s.qgate = newReadGate(conc, waitCap)
+	s.queryConc = conc
+	s.qgate = fair.NewGate(conc, waitCap, s.cfg.TenantWeights)
+	s.querySvc = fair.NewEWMA(0.2)
 
 	s.queryRequests = m.Counter("query_requests_total")
 	s.queryErrors = m.Counter("query_errors_total")
@@ -141,11 +107,14 @@ func (s *Server) writeQueryError(w http.ResponseWriter, qerr *query.Error) {
 	s.writeError(w, qerr.Status, qerr.Code, "%s", qerr.Message)
 }
 
-// admitQuery runs the gate; a false return means the response is
-// already written.
-func (s *Server) admitQuery(w http.ResponseWriter, ctx context.Context) bool {
-	switch err := s.qgate.acquire(ctx); {
-	case errors.Is(err, errGateFull):
+// admitQuery sheds, then runs the fair gate under the request's
+// tenant; a false return means the response is already written.
+func (s *Server) admitQuery(w http.ResponseWriter, r *http.Request, ctx context.Context) bool {
+	if s.shedQuery(w, ctx) {
+		return false
+	}
+	switch err := s.qgate.Acquire(ctx, tenantOf(r)); {
+	case errors.Is(err, fair.ErrWaitersFull):
 		s.queryRejected.Inc()
 		s.writeError(w, http.StatusTooManyRequests, "query_busy",
 			"the query tier is at its concurrency limit; retry later")
@@ -181,14 +150,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r, req.TimeoutMs)
 	defer cancel()
-	if !s.admitQuery(w, ctx) {
+	if !s.admitQuery(w, r, ctx) {
 		return
 	}
-	defer s.qgate.release()
+	defer s.qgate.Release()
 
 	start := time.Now()
 	resp, qerr := s.Query.Run(ctx, req)
-	s.queryMS.Add(time.Since(start).Milliseconds())
+	elapsed := time.Since(start)
+	s.queryMS.Add(elapsed.Milliseconds())
+	s.querySvc.Observe(float64(elapsed) / float64(time.Millisecond))
 	if qerr != nil {
 		s.writeQueryError(w, qerr)
 		return
@@ -240,14 +211,16 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r, 0)
 	defer cancel()
-	if !s.admitQuery(w, ctx) {
+	if !s.admitQuery(w, r, ctx) {
 		return
 	}
-	defer s.qgate.release()
+	defer s.qgate.Release()
 
 	start := time.Now()
 	items := s.Query.RunBatch(ctx, req.Queries)
-	s.queryMS.Add(time.Since(start).Milliseconds())
+	elapsed := time.Since(start)
+	s.queryMS.Add(elapsed.Milliseconds())
+	s.querySvc.Observe(float64(elapsed) / float64(time.Millisecond))
 	ok := 0
 	for _, it := range items {
 		if it.Error != nil {

@@ -8,9 +8,12 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"slices"
+	"strings"
 	"sync"
 	"time"
 
+	"gorder/internal/fair"
 	"gorder/internal/order"
 	"gorder/internal/store"
 )
@@ -60,19 +63,28 @@ type JobRequest struct {
 	Kernel string `json:"kernel,omitempty"`
 	// TimeoutMs bounds the job's run time; 0 uses the pool default.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Tenant is the fair-queueing identity the job runs under (set from
+	// the X-Tenant header by the HTTP layer; empty means the default
+	// tenant). Tenants share the worker pool in weighted fair order and
+	// each has its own queued-job cap.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // JobStatus is the public view of a job (the GET /jobs/{id} body).
+// QueueWaitMs (created → started) and DurationMs (started → finished)
+// are reported separately so saturation — long waits in front of
+// normal compute times — is diagnosable from outside.
 type JobStatus struct {
-	ID         string             `json:"id"`
-	Request    JobRequest         `json:"request"`
-	State      string             `json:"state"`
-	Error      string             `json:"error,omitempty"`
-	Created    time.Time          `json:"created"`
-	Started    *time.Time         `json:"started,omitempty"`
-	Finished   *time.Time         `json:"finished,omitempty"`
-	DurationMs int64              `json:"duration_ms,omitempty"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	ID          string             `json:"id"`
+	Request     JobRequest         `json:"request"`
+	State       string             `json:"state"`
+	Error       string             `json:"error,omitempty"`
+	Created     time.Time          `json:"created"`
+	Started     *time.Time         `json:"started,omitempty"`
+	Finished    *time.Time         `json:"finished,omitempty"`
+	QueueWaitMs int64              `json:"queue_wait_ms"`
+	DurationMs  int64              `json:"duration_ms,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // job is the pool's internal record. Fields after the embedded status
@@ -87,6 +99,11 @@ type job struct {
 // depth limit — the backpressure signal the API maps to HTTP 429.
 var ErrQueueFull = errors.New("server: job queue full")
 
+// ErrTenantQueueFull is returned by Submit when the submitting
+// tenant's own share of the queue is exhausted while the global queue
+// still has room — one tenant cannot occupy the whole queue.
+var ErrTenantQueueFull = errors.New("server: tenant job queue full")
+
 // ErrShuttingDown is returned by Submit after Shutdown has begun.
 var ErrShuttingDown = errors.New("server: shutting down")
 
@@ -95,10 +112,21 @@ type PoolConfig struct {
 	Workers        int           // concurrent jobs; <= 0 means 1
 	QueueDepth     int           // max pending jobs; <= 0 means 64
 	DefaultTimeout time.Duration // per-job deadline when the request has none; <= 0 means 5m
+	// TenantQueueDepth caps one tenant's queued (not running) jobs;
+	// <= 0 means QueueDepth — no per-tenant admission cap, which keeps
+	// a single-tenant deployment able to use its whole queue. Set it
+	// lower (e.g. half) in multi-tenant deployments so one flooding
+	// tenant leaves admission headroom for the others.
+	TenantQueueDepth int
+	// Weights are the fair-queueing tenant weights (nil = all equal).
+	Weights fair.Weights
 }
 
 // Pool runs jobs on a fixed set of worker goroutines over a bounded
-// FIFO queue. The queue is a mutex-guarded slice rather than a
+// weighted-fair queue: jobs queue per tenant and workers drain tenants
+// in stride order, so tenants share throughput by weight and a tenant
+// flooding its own queue cannot delay another tenant's job by more
+// than one weighted round. The queue is mutex-guarded rather than a
 // channel so shutdown can atomically stop intake and hand the
 // still-pending requests back for manifest persistence.
 type Pool struct {
@@ -112,18 +140,24 @@ type Pool struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	pending []*job
+	pending *fair.MultiQueue[*job]
 	jobs    map[string]*job
 	orderOf []string // submission order, for listing
 	seq     int
 
 	closed bool
 
+	// svcMs tracks the moving average job service time; EstimatedWait
+	// turns it and the queue depth into the wait forecast the admission
+	// layer sheds on.
+	svcMs *fair.EWMA
+
 	submitted *Counter
 	completed *Counter
 	failed    *Counter
 	canceled  *Counter
 	rejected  *Counter
+	queueWait *Counter
 	depth     *Gauge
 	busy      *Gauge
 }
@@ -143,6 +177,9 @@ func NewPool(cfg PoolConfig, m *Metrics, logger *slog.Logger,
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 5 * time.Minute
 	}
+	if cfg.TenantQueueDepth <= 0 {
+		cfg.TenantQueueDepth = cfg.QueueDepth
+	}
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -153,12 +190,15 @@ func NewPool(cfg PoolConfig, m *Metrics, logger *slog.Logger,
 		log:        logger,
 		baseCtx:    ctx,
 		baseCancel: cancel,
+		pending:    fair.NewMultiQueue[*job](cfg.Weights),
 		jobs:       make(map[string]*job),
+		svcMs:      fair.NewEWMA(0.2),
 		submitted:  m.Counter("jobs_submitted"),
 		completed:  m.Counter("jobs_completed"),
 		failed:     m.Counter("jobs_failed"),
 		canceled:   m.Counter("jobs_canceled"),
 		rejected:   m.Counter("jobs_rejected"),
+		queueWait:  m.Counter("job_queue_wait_ms_total"),
 		depth:      m.Gauge("queue_depth"),
 		busy:       m.Gauge("workers_busy"),
 	}
@@ -175,9 +215,14 @@ func (p *Pool) Start() {
 }
 
 // Submit validates and enqueues a job, returning its initial status.
+// The request's tenant (default when empty) decides which fair queue
+// it joins; both the global depth cap and the tenant's own cap apply.
 func (p *Pool) Submit(req JobRequest) (JobStatus, error) {
 	if req.Kind != KindOrder && req.Kind != KindEval && req.Kind != KindRepair {
 		return JobStatus{}, fmt.Errorf("unknown job kind %q", req.Kind)
+	}
+	if req.Tenant == "" {
+		req.Tenant = fair.DefaultTenant
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -185,9 +230,13 @@ func (p *Pool) Submit(req JobRequest) (JobStatus, error) {
 		p.rejected.Inc()
 		return JobStatus{}, ErrShuttingDown
 	}
-	if len(p.pending) >= p.cfg.QueueDepth {
+	if p.pending.Len() >= p.cfg.QueueDepth {
 		p.rejected.Inc()
 		return JobStatus{}, ErrQueueFull
+	}
+	if p.pending.TenantLen(req.Tenant) >= p.cfg.TenantQueueDepth {
+		p.rejected.Inc()
+		return JobStatus{}, ErrTenantQueueFull
 	}
 	p.seq++
 	j := &job{status: JobStatus{
@@ -198,11 +247,26 @@ func (p *Pool) Submit(req JobRequest) (JobStatus, error) {
 	}}
 	p.jobs[j.status.ID] = j
 	p.orderOf = append(p.orderOf, j.status.ID)
-	p.pending = append(p.pending, j)
-	p.depth.Set(int64(len(p.pending)))
+	p.pending.Push(req.Tenant, j)
+	p.depth.Set(int64(p.pending.Len()))
 	p.submitted.Inc()
 	p.cond.Signal()
 	return j.status, nil
+}
+
+// EstimatedWait forecasts how long a job submitted now would sit in
+// the queue: queued jobs times the average service time, divided
+// across the workers. Zero until the first job completes — admission
+// shedding only engages once there is evidence of how slow jobs are.
+func (p *Pool) EstimatedWait() time.Duration {
+	p.mu.Lock()
+	depth := p.pending.Len()
+	p.mu.Unlock()
+	if depth == 0 {
+		return 0
+	}
+	ms := p.svcMs.Value() * float64(depth) / float64(p.cfg.Workers)
+	return time.Duration(ms * float64(time.Millisecond))
 }
 
 // Get returns a job's status snapshot.
@@ -255,19 +319,20 @@ func (p *Pool) worker() {
 	defer p.wg.Done()
 	for {
 		p.mu.Lock()
-		for len(p.pending) == 0 && !p.closed {
+		for p.pending.Len() == 0 && !p.closed {
 			p.cond.Wait()
 		}
 		if p.closed {
 			p.mu.Unlock()
 			return
 		}
-		j := p.pending[0]
-		p.pending = p.pending[1:]
-		p.depth.Set(int64(len(p.pending)))
+		_, j, _ := p.pending.Pop()
+		p.depth.Set(int64(p.pending.Len()))
 		now := time.Now().UTC()
 		j.status.State = StateRunning
 		j.status.Started = &now
+		j.status.QueueWaitMs = now.Sub(j.status.Created).Milliseconds()
+		p.queueWait.Add(j.status.QueueWaitMs)
 		p.mu.Unlock()
 
 		p.runJob(j)
@@ -293,6 +358,7 @@ func (p *Pool) runJob(j *job) {
 	})
 	elapsed := time.Since(start)
 	finished := time.Now().UTC()
+	p.svcMs.Observe(float64(elapsed) / float64(time.Millisecond))
 
 	p.mu.Lock()
 	j.status.Finished = &finished
@@ -328,16 +394,28 @@ func (p *Pool) runJob(j *job) {
 func (p *Pool) Shutdown(ctx context.Context) []JobRequest {
 	p.mu.Lock()
 	p.closed = true
-	var queued []JobRequest
 	now := time.Now().UTC()
-	for _, j := range p.pending {
-		queued = append(queued, j.status.Request)
+	var drained []*job
+	for {
+		_, j, ok := p.pending.Pop()
+		if !ok {
+			break
+		}
 		j.status.State = StateCanceled
 		j.status.Error = "server shut down before the job started"
 		j.status.Finished = &now
 		p.canceled.Inc()
+		drained = append(drained, j)
 	}
-	p.pending = nil
+	// The fair queue drains in stride order; the manifest should replay
+	// in submission order, which the zero-padded IDs sort by.
+	slices.SortFunc(drained, func(a, b *job) int {
+		return strings.Compare(a.status.ID, b.status.ID)
+	})
+	var queued []JobRequest
+	for _, j := range drained {
+		queued = append(queued, j.status.Request)
+	}
 	p.depth.Set(0)
 	p.cond.Broadcast()
 	p.mu.Unlock()

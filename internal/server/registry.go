@@ -167,6 +167,53 @@ func (r *Registry) Add(name string, data []byte) (GraphInfo, bool, error) {
 	return r.annotateLocked(info), true, nil
 }
 
+// AddParsed registers an already-parsed graph under name with the
+// given content digest — the streaming upload path, where the body was
+// hashed and parsed incrementally and never existed as one buffer.
+// Semantics match Add on the same bytes: identical content (by digest)
+// deduplicates to the existing entry with created == false.
+func (r *Registry) AddParsed(name, id string, g *graph.Graph, srcBytes int64, parse time.Duration) (GraphInfo, bool, error) {
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return GraphInfo{}, false, fmt.Errorf("graph name is required")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byID[id]; ok {
+		r.byName[name] = id
+		if r.store != nil {
+			if err := r.store.SetName(name, id); err != nil {
+				return GraphInfo{}, false, fmt.Errorf("recording alias %q: %w", name, err)
+			}
+		}
+		return r.annotateLocked(e.info), false, nil
+	}
+	r.ingests.Inc()
+	r.ingestMillis.Add(parse.Milliseconds())
+	r.ingestEdges.Add(g.NumEdges())
+	info := GraphInfo{
+		ID:    id,
+		Name:  name,
+		Nodes: g.NumNodes(),
+		Edges: g.NumEdges(),
+		Bytes: srcBytes,
+		Added: time.Now().UTC(),
+	}
+	e := &regEntry{info: info}
+	if r.store != nil {
+		if err := r.store.PutGraph(id, name, g, srcBytes); err != nil {
+			return GraphInfo{}, false, err
+		}
+	} else {
+		e.g = g
+	}
+	r.byID[id] = e
+	r.byName[name] = id
+	r.graphs.Inc()
+	r.bytes.Add(srcBytes)
+	return r.annotateLocked(info), true, nil
+}
+
 // annotateLocked fills the dynamic residency fields of an info
 // snapshot.
 func (r *Registry) annotateLocked(info GraphInfo) GraphInfo {

@@ -14,6 +14,7 @@ import (
 
 	"gorder"
 	"gorder/internal/core"
+	"gorder/internal/fair"
 	"gorder/internal/order"
 	"gorder/internal/query"
 	"gorder/internal/registry"
@@ -38,10 +39,20 @@ type Config struct {
 	// their own gate — never in the compute worker pool — so these are
 	// independent of Pool.Workers.
 	QueryConcurrency  int           // concurrent queries; <= 0 means 8
-	QueryWaitCap      int           // queued waiters before 429; <= 0 means 64
+	QueryWaitCap      int           // queued waiters per tenant before 429; <= 0 means 64
 	QueryTimeout      time.Duration // default per-query deadline; <= 0 means 30s
 	QueryResultBudget int64         // result-cache LRU bytes; <= 0 means 64 MiB
 	QueryGraphBudget  int64         // relabeled-graph LRU bytes; <= 0 means 256 MiB
+
+	// Traffic-tier knobs. TenantRate is the per-tenant request rate in
+	// requests/second (<= 0 disables rate limiting entirely);
+	// TenantBurst is the bucket size (<= 0 means one second of rate).
+	// TenantWeights are the fair-queueing weights shared by the job
+	// queue and the query read gate (nil = all tenants equal). Tenants
+	// are named by the X-Tenant request header.
+	TenantRate    float64
+	TenantBurst   int
+	TenantWeights fair.Weights
 
 	// Mutation-tier knobs (POST /graphs/{name}/edges; store required).
 	// DecayThreshold is the quality ratio below which a repair job is
@@ -77,9 +88,19 @@ type Server struct {
 	httpRequests *Counter
 	httpErrors   *Counter
 
-	// Query-tier plumbing: the read gate and its counters (the
-	// executor's own counters are exported as Func metrics).
-	qgate         *readGate
+	// Traffic-tier plumbing: the per-tenant rate limiter (nil when
+	// disabled) and the admission counters.
+	limiter     *fair.Limiter
+	rateLimited *Counter
+	jobsShed    *Counter
+	queryShed   *Counter
+
+	// Query-tier plumbing: the weighted-fair read gate, the service
+	// EWMA its shedder forecasts with, and the counters (the executor's
+	// own counters are exported as Func metrics).
+	qgate         *fair.Gate
+	queryConc     int
+	querySvc      *fair.EWMA
 	queryRequests *Counter
 	queryErrors   *Counter
 	queryRejected *Counter
@@ -108,6 +129,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.Pool.Weights == nil {
+		cfg.Pool.Weights = cfg.TenantWeights
 	}
 	m := NewMetrics()
 	s := &Server{
@@ -139,6 +163,7 @@ func New(cfg Config) *Server {
 		m.Func("store_result_misses_total", st.ResultMisses)
 	}
 	s.initQuery(m)
+	s.initTraffic(m)
 	// Pre-register one counter triple per catalog ordering so /metrics
 	// exposes every method from startup (zeros included) and the
 	// observation hook never registers metrics concurrently.
@@ -170,10 +195,14 @@ func (s *Server) Shutdown(ctx context.Context) []JobRequest {
 	return s.Pool.Shutdown(ctx)
 }
 
-// Handler returns the daemon's HTTP handler.
+// Handler returns the daemon's HTTP handler: request counting, then
+// per-tenant rate limiting, then the route mux.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.httpRequests.Inc()
+		if !s.admit(w, r) {
+			return
+		}
 		s.mux.ServeHTTP(w, r)
 	})
 }
@@ -267,44 +296,16 @@ func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleGraphs serves GET /graphs (list) and POST /graphs (upload).
-// Uploads send the raw graph bytes (binary CSR or text edge list) as
-// the body with the name in the ?name= query parameter.
+// handleGraphs serves GET /graphs (list) and POST /graphs (streaming
+// upload; see upload.go). Uploads send the raw graph bytes (binary
+// CSR or text edge list) as the body with the name in the ?name=
+// query parameter.
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		s.writeJSON(w, http.StatusOK, map[string]any{"graphs": s.Reg.List()})
 	case http.MethodPost:
-		name := r.URL.Query().Get("name")
-		if name == "" {
-			s.writeError(w, http.StatusBadRequest, "missing_name",
-				"upload requires a ?name= query parameter")
-			return
-		}
-		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUpload)
-		data, err := io.ReadAll(body)
-		if err != nil {
-			var tooBig *http.MaxBytesError
-			if errors.As(err, &tooBig) {
-				s.writeError(w, http.StatusRequestEntityTooLarge, "too_large",
-					"upload exceeds the %d-byte limit", tooBig.Limit)
-				return
-			}
-			s.writeError(w, http.StatusBadRequest, "read_failed", "reading upload: %v", err)
-			return
-		}
-		info, created, err := s.Reg.Add(name, data)
-		if err != nil {
-			s.writeError(w, http.StatusBadRequest, "bad_graph", "%v", err)
-			return
-		}
-		status := http.StatusOK // deduplicated: existing graph
-		if created {
-			status = http.StatusCreated
-			s.log.Info("graph registered", "id", info.ID, "name", info.Name,
-				"nodes", info.Nodes, "edges", info.Edges, "bytes", info.Bytes)
-		}
-		s.writeJSON(w, status, info)
+		s.handleGraphUpload(w, r)
 	default:
 		s.methodNotAllowed(w, r, http.MethodGet, http.MethodPost)
 	}
@@ -356,11 +357,26 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, http.StatusBadRequest, code, "%s", msg)
 			return
 		}
+		// The header is the tenant identity; a body-supplied tenant only
+		// survives for headerless submissions (manifest replay goes
+		// through Submit directly and keeps its recorded tenant).
+		if t := tenantOf(r); t != fair.DefaultTenant || req.Tenant == "" {
+			req.Tenant = t
+		}
+		if s.shedJob(w, &req) {
+			return
+		}
 		status, err := s.Pool.Submit(req)
 		switch {
 		case errors.Is(err, ErrQueueFull):
-			s.writeError(w, http.StatusTooManyRequests, "queue_full",
+			s.writeRetryError(w, http.StatusTooManyRequests, "queue_full",
+				s.Pool.EstimatedWait(),
 				"the job queue is at its depth limit; retry later")
+			return
+		case errors.Is(err, ErrTenantQueueFull):
+			s.writeRetryError(w, http.StatusTooManyRequests, "tenant_queue_full",
+				s.Pool.EstimatedWait(),
+				"tenant %q is at its queued-job cap; retry later", req.Tenant)
 			return
 		case errors.Is(err, ErrShuttingDown):
 			s.writeError(w, http.StatusServiceUnavailable, "shutting_down",

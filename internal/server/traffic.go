@@ -1,0 +1,131 @@
+package server
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"gorder/internal/fair"
+)
+
+// The traffic tier: this file is where admission policy attaches to
+// HTTP — which header names a tenant, which routes are exempt, which
+// status codes and envelopes overload maps to. The policy arithmetic
+// itself (buckets, strides, wait forecasts) lives in internal/fair;
+// a CI grep keeps it there.
+
+// tenantHeader names the tenant identity header.
+const tenantHeader = "X-Tenant"
+
+// tenantOf extracts the request's tenant: the X-Tenant header,
+// trimmed and length-capped, or the default tenant when absent.
+func tenantOf(r *http.Request) string {
+	t := strings.TrimSpace(r.Header.Get(tenantHeader))
+	if t == "" {
+		return fair.DefaultTenant
+	}
+	if len(t) > 64 {
+		t = t[:64]
+	}
+	return t
+}
+
+// writeRetryError writes the uniform error envelope plus a
+// Retry-After header (whole seconds, rounded up, at least 1) — every
+// 429 the traffic tier produces goes through here so clients can
+// always back off by the server's own estimate.
+func (s *Server) writeRetryError(w http.ResponseWriter, status int, code string,
+	retryAfter time.Duration, format string, args ...any) {
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	s.writeError(w, status, code, format, args...)
+}
+
+// initTraffic builds the per-tenant limiter and the shed counters;
+// called from New.
+func (s *Server) initTraffic(m *Metrics) {
+	if s.cfg.TenantRate > 0 {
+		s.limiter = fair.NewLimiter(s.cfg.TenantRate, s.cfg.TenantBurst)
+	}
+	s.rateLimited = m.Counter("rate_limited_total")
+	s.jobsShed = m.Counter("jobs_shed_total")
+	s.queryShed = m.Counter("query_shed_total")
+}
+
+// rateLimitExempt lists the routes that must answer even for a tenant
+// over budget: health probes and metrics scrapes are how operators see
+// an overload, so they are never limited.
+func rateLimitExempt(path string) bool {
+	return path == "/healthz" || path == "/metrics"
+}
+
+// admit applies the per-tenant rate limit to one request. A false
+// return means the 429 (with Retry-After) is already written.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	if s.limiter == nil || rateLimitExempt(r.URL.Path) {
+		return true
+	}
+	tenant := tenantOf(r)
+	ok, retry := s.limiter.Allow(tenant)
+	if !ok {
+		s.rateLimited.Inc()
+		s.writeRetryError(w, http.StatusTooManyRequests, "rate_limited", retry,
+			"tenant %q is over its %.3g req/s rate limit", tenant, s.cfg.TenantRate)
+		return false
+	}
+	return true
+}
+
+// shedJob is the job tier's admission forecast: when the queue-wait
+// estimate already exceeds the job's own run deadline, accepting the
+// job just parks it past the point the client stops caring — shed it
+// now with a 429 and the forecast as Retry-After instead. A true
+// return means the response is written.
+func (s *Server) shedJob(w http.ResponseWriter, req *JobRequest) bool {
+	est := s.Pool.EstimatedWait()
+	if est == 0 {
+		return false
+	}
+	deadline := s.Pool.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		deadline = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if est <= deadline {
+		return false
+	}
+	s.jobsShed.Inc()
+	s.writeRetryError(w, http.StatusTooManyRequests, "job_shed", est,
+		"forecast queue wait %s exceeds the job deadline %s; shed at admission",
+		est.Round(time.Millisecond), deadline)
+	return true
+}
+
+// shedQuery is the read tier's forecast: with waiters already queued,
+// estimate the wait for one more and shed when it cannot fit inside
+// the request's own deadline — a fast 429 beats a guaranteed 504.
+func (s *Server) shedQuery(w http.ResponseWriter, ctx context.Context) bool {
+	waiting := s.qgate.Waiting()
+	if waiting == 0 {
+		return false
+	}
+	est := time.Duration(s.querySvc.Value() * float64(waiting) /
+		float64(s.queryConc) * float64(time.Millisecond))
+	if est == 0 {
+		return false
+	}
+	dl, ok := ctx.Deadline()
+	if !ok || est <= time.Until(dl) {
+		return false
+	}
+	s.queryShed.Inc()
+	s.writeRetryError(w, http.StatusTooManyRequests, "query_shed", est,
+		"forecast gate wait %s exceeds the query deadline; shed at admission",
+		est.Round(time.Millisecond))
+	return true
+}

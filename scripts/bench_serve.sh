@@ -1,0 +1,52 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_serve.json: per-route latency percentiles (p50 /
+# p90 / p99 / p99.9), throughput, and shed/error counts for mixed
+# upload/order/query/edit traffic against a store-backed gorderd at
+# two closed-loop concurrency levels, plus the streaming-vs-buffered
+# ingest peak-memory comparison on the ~1M-edge web graph
+# (gen.Web 100k nodes). Run from anywhere; writes to the repo root.
+#
+# Override the per-level wall time with SERVE_BENCH_DURATION (default
+# 10s) and the ingest graph size with SERVE_BENCH_INGEST_NODES
+# (default 100000).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+DURATION="${SERVE_BENCH_DURATION:-10s}"
+INGEST_NODES="${SERVE_BENCH_INGEST_NODES:-100000}"
+
+WORKDIR=$(mktemp -d)
+GD=''
+trap 'if [ -n "$GD" ]; then kill "$GD" 2>/dev/null || true; fi; rm -rf "$WORKDIR"' EXIT
+
+go build -o "$WORKDIR/gorderd" ./cmd/gorderd
+go build -o "$WORKDIR/gorderbench" ./cmd/gorderbench
+
+"$WORKDIR/gorderd" -addr 127.0.0.1:0 -workers 2 -manifest '' \
+    -data-dir "$WORKDIR/data" >"$WORKDIR/gorderd.log" 2>&1 &
+GD=$!
+ADDR=''
+i=0
+while [ $i -lt 50 ]; do
+    ADDR=$(awk '/listening on/ {print $NF}' "$WORKDIR/gorderd.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$ADDR" ]; then
+    echo "gorderd did not report a listen address" >&2
+    cat "$WORKDIR/gorderd.log" >&2
+    exit 1
+fi
+
+"$WORKDIR/gorderbench" -url "http://$ADDR" -duration "$DURATION" \
+    -concurrency 4,16 -nodes 2000 -tenants acme,beta,free \
+    -ingest-compare -ingest-nodes "$INGEST_NODES" \
+    -json "$PWD/BENCH_serve.json"
+
+kill "$GD"
+wait "$GD" 2>/dev/null || true
+GD=''
+
+echo "wrote $PWD/BENCH_serve.json"

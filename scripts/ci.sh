@@ -46,6 +46,18 @@ if grep -n 'map\[' internal/core/unitheap.go; then
     exit 1
 fi
 
+echo "==> admission policy gate (rate limits and Retry-After live in fair + traffic.go)"
+# Token buckets, Retry-After arithmetic, and shed forecasts are
+# admission policy. Route handlers call the admit/shed helpers; one
+# open-coding the policy inline fragments the SLO story across files.
+if grep -rn --include='*.go' --exclude='*_test.go' \
+    -e 'fair\.NewLimiter' -e '\.Allow(' -e 'Retry-After' \
+    cmd internal examples ./*.go 2>/dev/null \
+    | grep -v '^internal/fair/' | grep -v '^internal/server/traffic\.go'; then
+    echo "FAIL: admission policy outside internal/fair + internal/server/traffic.go" >&2
+    exit 1
+fi
+
 echo "==> go build ./..."
 go build ./...
 
@@ -90,5 +102,39 @@ go test ./internal/graph/ -run='^$' -bench=. -benchtime=1x
 
 echo "==> ordering benchmark smoke (-benchtime=1x)"
 go test ./internal/core/ -run='^$' -bench='BenchmarkOrderWith/web120k' -benchtime=1x
+
+echo "==> serving smoke (gorderbench mixed traffic at a store-backed daemon, zero errors)"
+# Two seconds of closed-loop upload/order/query/edit traffic from two
+# tenants against a freshly started gorderd. 429s count as shedding,
+# not errors; any 5xx or transport failure fails the gate, and the
+# query p99 gets a deliberately loose ceiling to catch pathological
+# serialization without flaking on slow CI hosts.
+SMOKEDIR=$(mktemp -d)
+GD=''
+trap 'if [ -n "$GD" ]; then kill "$GD" 2>/dev/null || true; fi; rm -rf "$SMOKEDIR"' EXIT
+go build -o "$SMOKEDIR/gorderd" ./cmd/gorderd
+go build -o "$SMOKEDIR/gorderbench" ./cmd/gorderbench
+"$SMOKEDIR/gorderd" -addr 127.0.0.1:0 -workers 2 -manifest '' \
+    -data-dir "$SMOKEDIR/data" >"$SMOKEDIR/gorderd.log" 2>&1 &
+GD=$!
+ADDR=''
+i=0
+while [ $i -lt 50 ]; do
+    ADDR=$(awk '/listening on/ {print $NF}' "$SMOKEDIR/gorderd.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$ADDR" ]; then
+    echo "FAIL: gorderd did not report a listen address" >&2
+    cat "$SMOKEDIR/gorderd.log" >&2
+    exit 1
+fi
+"$SMOKEDIR/gorderbench" -url "http://$ADDR" -duration 2s -concurrency 4 \
+    -nodes 500 -tenants ci-a,ci-b -assert-zero-errors -assert-p99-ms 2000 \
+    -json "$SMOKEDIR/bench.json" >/dev/null
+kill "$GD"
+wait "$GD" 2>/dev/null || true
+GD=''
 
 echo "CI OK"
