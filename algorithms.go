@@ -1,6 +1,11 @@
 package gorder
 
-import "gorder/internal/algos"
+import (
+	"context"
+
+	"gorder/internal/algos"
+	"gorder/internal/exec"
+)
 
 // The paper's nine benchmark kernels, exposed for direct use. All of
 // them run unmodified on any vertex order — that is the point: the
@@ -97,3 +102,49 @@ func Betweenness(g *Graph, samples int, seed uint64) []float64 {
 // BetweennessExact computes exact betweenness centrality over
 // unit-weight directed shortest paths (Brandes, O(n·m)).
 func BetweennessExact(g *Graph) []float64 { return algos.BetweennessExact(g) }
+
+// ---- parallel kernels ---------------------------------------------------
+//
+// The multicore variants run on the internal/exec engine: the vertex
+// space is partitioned into contiguous chunks of the current ordering,
+// so each worker's working set is a Gorder-localized window and the
+// cache wins compound with the parallelism. workers <= 0 selects
+// GOMAXPROCS. Results are identical to the serial kernels above at any
+// worker count (bit-identical distances, counts, and — because the
+// only cross-range float reduction is kept serial — PageRank values),
+// so callers may switch between serial and parallel freely. The ctx
+// deadline is polled between work chunks; cancellation returns
+// ctx.Err() with a nil result.
+
+// PageRankParallel is the multicore PageRank; its ranks equal
+// PageRank's bit for bit.
+func PageRankParallel(ctx context.Context, g *Graph, iters int, damping float64, workers int) ([]float64, error) {
+	return exec.PageRank(ctx, g, iters, damping, workers, nil)
+}
+
+// DOBFSParallel is the multicore direction-optimizing BFS; distances
+// equal DOBFS's (and BFS's) bit for bit.
+func DOBFSParallel(ctx context.Context, g *Graph, src NodeID, workers int) (dist []int32, reached int, err error) {
+	return exec.DOBFS(ctx, g, src, workers, nil)
+}
+
+// ShortestPathsParallel is the multicore unit-weight SSSP
+// (delta-stepping with delta = 1); distances equal ShortestPaths's.
+func ShortestPathsParallel(ctx context.Context, g *Graph, src NodeID, workers int) ([]int32, error) {
+	return exec.ShortestPaths(ctx, g, src, workers, nil)
+}
+
+// DeltaStepping is the multicore weighted SSSP (Meyer–Sanders
+// delta-stepping with lazy buckets). weights aligns with the CSR
+// out-adjacency as in DijkstraWeighted; nil means unit weights;
+// delta <= 0 picks the average edge weight. Distances equal
+// DijkstraWeighted's exactly.
+func DeltaStepping(ctx context.Context, g *Graph, weights []int32, src NodeID, delta int64, workers int) ([]int64, error) {
+	return exec.DeltaStepping(ctx, g, weights, src, delta, workers, nil)
+}
+
+// TriangleCountParallel is the multicore triangle count; it equals
+// TriangleCount exactly.
+func TriangleCountParallel(ctx context.Context, g *Graph, workers int) (int64, error) {
+	return exec.TriangleCount(ctx, g, workers, nil)
+}

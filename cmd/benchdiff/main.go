@@ -1,0 +1,76 @@
+// Command benchdiff gates benchmark regressions in CI: it parses
+// `go test -bench -benchmem` output (stdin or a file argument), diffs
+// it against a committed BENCH_*.json baseline, and exits nonzero when
+// any benchmark blows past the thresholds.
+//
+//	go test ./internal/core/ -run '^$' -bench . -benchmem | \
+//	    benchdiff -baseline BENCH_gorder.json
+//
+// The time gate is loose by design (baselines are recorded on a
+// different machine than CI); the allocs gate is tight because alloc
+// counts are machine-independent. See internal/benchdiff.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gorder/internal/benchdiff"
+)
+
+func main() {
+	var (
+		baseline    = flag.String("baseline", "", "BENCH_*.json baseline to diff against (required)")
+		timeFactor  = flag.Float64("time-factor", 8, "fail when ns/op exceeds baseline x this (0 disables the time gate)")
+		allocFactor = flag.Float64("alloc-factor", 1.3, "fail when allocs/op exceeds baseline x this + alloc-slack (0 disables)")
+		allocSlack  = flag.Float64("alloc-slack", 4, "absolute allocs/op slack on top of alloc-factor")
+		minMatch    = flag.Int("min-match", 1, "fail unless at least this many benchmarks matched the baseline")
+	)
+	flag.Parse()
+	if *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline is required")
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	ms, err := benchdiff.Parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	base, err := benchdiff.LoadBaseline(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	th := benchdiff.Thresholds{
+		TimeFactor:  *timeFactor,
+		AllocFactor: *allocFactor,
+		AllocSlack:  *allocSlack,
+	}
+	findings, matched := benchdiff.Compare(ms, base, th)
+	regressed := benchdiff.Report(os.Stdout, findings)
+	fmt.Printf("benchdiff: %d parsed, %d matched %s, %d regressed\n",
+		len(ms), matched, *baseline, regressed)
+	if matched < *minMatch {
+		fmt.Fprintf(os.Stderr, "benchdiff: only %d benchmark(s) matched the baseline (want >= %d) — name drift?\n",
+			matched, *minMatch)
+		os.Exit(1)
+	}
+	if regressed > 0 {
+		os.Exit(1)
+	}
+}

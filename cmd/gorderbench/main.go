@@ -42,7 +42,8 @@ func main() {
 		duration   = flag.Duration("duration", 5*time.Second, "wall time per concurrency level")
 		concs      = flag.String("concurrency", "4,16", "comma-separated closed-loop concurrency levels")
 		rate       = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
-		mixFlag    = flag.String("mix", "", "operation mix as query=12,order=2,upload=1,edit=1")
+		mixFlag    = flag.String("mix", "", "operation mix as query=12,order=2,upload=1,edit=1, or a preset: default, query-heavy")
+		kernels    = flag.String("kernels", "", "comma-separated kernels rotated across query ops (default BFS; query-heavy preset defaults to BFS,PR,SP,Tri)")
 		tenants    = flag.String("tenants", "", "comma-separated X-Tenant values rotated across requests")
 		graphName  = flag.String("graph", "bench", "name of the target graph (uploaded if absent)")
 		nodes      = flag.Int("nodes", 2000, "node count of the generated target graph")
@@ -63,6 +64,15 @@ func main() {
 	mix, err := loadgen.ParseMix(*mixFlag)
 	if err != nil {
 		fatal(err)
+	}
+	// The query-heavy preset is about exercising the kernel tier, so it
+	// rotates over every parallel kernel unless -kernels overrides.
+	if *kernels == "" && *mixFlag == "query-heavy" {
+		*kernels = "BFS,PR,SP,Tri"
+	}
+	var kernelList []string
+	if *kernels != "" {
+		kernelList = strings.Split(*kernels, ",")
 	}
 	var tenantList []string
 	if *tenants != "" {
@@ -86,6 +96,7 @@ func main() {
 				Tenants:     tenantList,
 				Graph:       *graphName,
 				Nodes:       *nodes,
+				Kernels:     kernelList,
 				Seed:        *seed,
 			})
 			if err != nil {

@@ -273,21 +273,35 @@ func PageRank(g *graph.Graph, iters int, damping float64) []float64 {
 	}
 	rank := make([]float64, n)
 	next := make([]float64, n)
-	contrib := make([]float64, n) // rank[u]/outdeg(u), refreshed per iteration
+	contrib := make([]float64, n) // rank[u]*invDeg[u], refreshed per iteration
+	// Reciprocal out-degrees and the dangling-vertex list are
+	// loop-invariant: hoisting them replaces a division per vertex per
+	// iteration with one division per vertex per run. Multiplying by the
+	// reciprocal rounds differently from dividing, so ranks moved within
+	// FP tolerance when this landed; all parity checks are
+	// tolerance-based, and the parallel engine (internal/exec) matches
+	// this exact op order bitwise.
+	invDeg := make([]float64, n)
+	var dangling []graph.NodeID
+	for u := 0; u < n; u++ {
+		if d := g.OutDegree(graph.NodeID(u)); d > 0 {
+			invDeg[u] = 1 / float64(d)
+		} else {
+			dangling = append(dangling, graph.NodeID(u))
+		}
+	}
 	for i := range rank {
 		rank[i] = 1 / float64(n)
 	}
 	for it := 0; it < iters; it++ {
-		dangling := 0.0
 		for u := 0; u < n; u++ {
-			if d := g.OutDegree(graph.NodeID(u)); d > 0 {
-				contrib[u] = rank[u] / float64(d)
-			} else {
-				contrib[u] = 0
-				dangling += rank[u]
-			}
+			contrib[u] = rank[u] * invDeg[u]
 		}
-		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		danglingMass := 0.0
+		for _, u := range dangling {
+			danglingMass += rank[u]
+		}
+		base := (1-damping)/float64(n) + damping*danglingMass/float64(n)
 		for v := 0; v < n; v++ {
 			sum := 0.0
 			for _, u := range g.InNeighbors(graph.NodeID(v)) {

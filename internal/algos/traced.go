@@ -269,21 +269,30 @@ func TracedPageRank(t *TracedGraph, s *mem.Space, iters int, damping float64) []
 	rank := s.NewF64(n)
 	next := s.NewF64(n)
 	contrib := s.NewF64(n)
+	// Same reciprocal-out-degree hoist as the untraced kernel: the op
+	// order must match exactly for the traced-parity tolerance to hold.
+	invDeg := s.NewF64(n)
+	var dangling []int
+	for u := 0; u < n; u++ {
+		lo, hi := t.outRange(u)
+		if d := hi - lo; d > 0 {
+			invDeg.Set(u, 1/float64(d))
+		} else {
+			dangling = append(dangling, u)
+		}
+	}
 	for i := 0; i < n; i++ {
 		rank.Set(i, 1/float64(n))
 	}
 	for it := 0; it < iters; it++ {
-		dangling := 0.0
 		for u := 0; u < n; u++ {
-			lo, hi := t.outRange(u)
-			if d := hi - lo; d > 0 {
-				contrib.Set(u, rank.Get(u)/float64(d))
-			} else {
-				contrib.Set(u, 0)
-				dangling += rank.Get(u)
-			}
+			contrib.Set(u, rank.Get(u)*invDeg.Get(u))
 		}
-		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		danglingMass := 0.0
+		for _, u := range dangling {
+			danglingMass += rank.Get(u)
+		}
+		base := (1-damping)/float64(n) + damping*danglingMass/float64(n)
 		for v := 0; v < n; v++ {
 			lo, hi := t.inRange(v)
 			sum := 0.0

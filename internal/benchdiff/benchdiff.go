@@ -1,0 +1,205 @@
+// Package benchdiff compares `go test -bench -benchmem` output against
+// the committed BENCH_*.json baselines, so CI can catch performance
+// regressions the functional tests cannot see.
+//
+// Two thresholds with very different trust levels:
+//
+//   - ns/op is machine-dependent (the baselines were recorded on one
+//     host, CI runs on another), so the time gate is deliberately
+//     loose — it exists to catch pathological regressions (an
+//     accidentally quadratic loop, a lost cache), not percent drift.
+//   - allocs/op is machine-independent: the same binary performs the
+//     same allocations everywhere, so the alloc gate is tight. A small
+//     absolute slack absorbs runtime-version noise on tiny counts.
+package benchdiff
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one parsed benchmark result line.
+type Measurement struct {
+	// Name is the benchmark name with the trailing -GOMAXPROCS suffix
+	// stripped, so it matches baseline names recorded at any -cpu.
+	Name        string
+	Iters       int64
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+	// HasMem reports whether the line carried -benchmem columns.
+	HasMem bool
+}
+
+// gomaxprocsSuffix matches the "-8" style suffix go test appends to
+// benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` output and returns the benchmark
+// measurements, ignoring all non-benchmark lines (ok/PASS/log noise).
+func Parse(r io.Reader) ([]Measurement, error) {
+	var out []Measurement
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // "Benchmark..." prose, not a result line
+		}
+		m := Measurement{
+			Name:  gomaxprocsSuffix.ReplaceAllString(fields[0], ""),
+			Iters: iters,
+		}
+		// The rest of the line is (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+			case "B/op":
+				m.BytesPerOp = v
+				m.HasMem = true
+			case "allocs/op":
+				m.AllocsPerOp = v
+				m.HasMem = true
+			}
+		}
+		if m.NsPerOp > 0 {
+			out = append(out, m)
+		}
+	}
+	return out, sc.Err()
+}
+
+// BaselineEntry is one benchmark of a committed BENCH_*.json file.
+// Extra keys (speedup, placements_per_s, ...) are ignored, so every
+// baseline file whose "benchmarks" entries carry name/ns_per_op/
+// allocs_per_op diffs with the same code path.
+type BaselineEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type baselineFile struct {
+	Benchmarks []BaselineEntry `json:"benchmarks"`
+}
+
+// LoadBaseline reads a BENCH_*.json file and indexes its benchmarks by
+// name.
+func LoadBaseline(path string) (map[string]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f baselineFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no \"benchmarks\" array", path)
+	}
+	idx := make(map[string]BaselineEntry, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		idx[b.Name] = b
+	}
+	return idx, nil
+}
+
+// Thresholds configures the regression gates.
+type Thresholds struct {
+	// TimeFactor fails a benchmark whose ns/op exceeds baseline ×
+	// this factor. Machine-dependent — keep it loose (CI uses 8).
+	TimeFactor float64
+	// AllocFactor fails a benchmark whose allocs/op exceed baseline ×
+	// this factor plus AllocSlack. Machine-independent — keep it tight.
+	AllocFactor float64
+	// AllocSlack is the absolute allocs/op slack added on top of
+	// AllocFactor, so a 15 → 17 move on a tiny count is noise but a
+	// 15 → 40 move is a regression.
+	AllocSlack float64
+}
+
+// DefaultThresholds are the CI gate settings.
+func DefaultThresholds() Thresholds {
+	return Thresholds{TimeFactor: 8, AllocFactor: 1.3, AllocSlack: 4}
+}
+
+// Finding is one benchmark's comparison against its baseline.
+type Finding struct {
+	Name        string
+	Regressed   bool
+	Reasons     []string // empty when within thresholds
+	NsPerOp     float64
+	BaseNs      float64
+	AllocsPerOp float64
+	BaseAllocs  float64
+}
+
+// Compare diffs measurements against the baseline index. Benchmarks
+// without a baseline entry are skipped (they are new); matched is how
+// many were compared.
+func Compare(ms []Measurement, base map[string]BaselineEntry, th Thresholds) (findings []Finding, matched int) {
+	for _, m := range ms {
+		b, ok := base[m.Name]
+		if !ok {
+			continue
+		}
+		matched++
+		f := Finding{
+			Name: m.Name, NsPerOp: m.NsPerOp, BaseNs: b.NsPerOp,
+			AllocsPerOp: m.AllocsPerOp, BaseAllocs: b.AllocsPerOp,
+		}
+		if th.TimeFactor > 0 && b.NsPerOp > 0 && m.NsPerOp > b.NsPerOp*th.TimeFactor {
+			f.Regressed = true
+			f.Reasons = append(f.Reasons, fmt.Sprintf(
+				"time %.0f ns/op > %.1f× baseline %.0f", m.NsPerOp, th.TimeFactor, b.NsPerOp))
+		}
+		if th.AllocFactor > 0 && m.HasMem && b.AllocsPerOp > 0 &&
+			m.AllocsPerOp > b.AllocsPerOp*th.AllocFactor+th.AllocSlack {
+			f.Regressed = true
+			f.Reasons = append(f.Reasons, fmt.Sprintf(
+				"allocs %.0f/op > %.2f× baseline %.0f + %.0f", m.AllocsPerOp,
+				th.AllocFactor, b.AllocsPerOp, th.AllocSlack))
+		}
+		findings = append(findings, f)
+	}
+	return findings, matched
+}
+
+// Report writes a human-readable comparison table and returns how many
+// findings regressed.
+func Report(w io.Writer, findings []Finding) int {
+	regressed := 0
+	for _, f := range findings {
+		status := "ok"
+		if f.Regressed {
+			status = "REGRESSED"
+			regressed++
+		}
+		fmt.Fprintf(w, "%-60s %12.0f ns/op (base %12.0f)  %6.0f allocs (base %6.0f)  %s\n",
+			f.Name, f.NsPerOp, f.BaseNs, f.AllocsPerOp, f.BaseAllocs, status)
+		for _, r := range f.Reasons {
+			fmt.Fprintf(w, "    ^ %s\n", r)
+		}
+	}
+	return regressed
+}

@@ -1,0 +1,120 @@
+package benchdiff
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: gorder/internal/core
+cpu: some CPU
+BenchmarkOrderWith/web120k/w=1/hub=0-8         	       1	73771375 ns/op	  472752 B/op	      15 allocs/op
+BenchmarkOrderWith/web120k/w=5/hub=0-8         	       2	91384687 ns/op	  472800 B/op	      16 allocs/op
+BenchmarkNoMemColumns                          	     100	    123456 ns/op
+--- BENCH: something
+    helper_test.go:10: log line that mentions Benchmark inside
+PASS
+ok  	gorder/internal/core	2.345s
+`
+
+func TestParse(t *testing.T) {
+	ms, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("parsed %d measurements, want 3: %+v", len(ms), ms)
+	}
+	m := ms[0]
+	if m.Name != "BenchmarkOrderWith/web120k/w=1/hub=0" {
+		t.Fatalf("name %q: GOMAXPROCS suffix not stripped", m.Name)
+	}
+	if m.Iters != 1 || m.NsPerOp != 73771375 || m.BytesPerOp != 472752 || m.AllocsPerOp != 15 {
+		t.Fatalf("bad fields: %+v", m)
+	}
+	if !m.HasMem {
+		t.Fatal("benchmem columns not detected")
+	}
+	if ms[2].HasMem {
+		t.Fatal("no-mem line wrongly marked HasMem")
+	}
+}
+
+func TestLoadBaselineAndCompare(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	baseline := `{
+  "generated_by": "test",
+  "benchmarks": [
+    {"name": "BenchmarkOrderWith/web120k/w=1/hub=0", "iters": 1, "ns_per_op": 70000000, "bytes_per_op": 470000, "allocs_per_op": 15, "extra_key": null},
+    {"name": "BenchmarkOrderWith/web120k/w=5/hub=0", "iters": 2, "ns_per_op": 1000, "bytes_per_op": 470000, "allocs_per_op": 3}
+  ]
+}`
+	if err := os.WriteFile(path, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 2 {
+		t.Fatalf("loaded %d entries, want 2", len(base))
+	}
+
+	ms, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, matched := Compare(ms, base, DefaultThresholds())
+	if matched != 2 {
+		t.Fatalf("matched %d, want 2 (the no-baseline bench is skipped)", matched)
+	}
+	// First bench: 73.77ms vs 70ms baseline, 15 vs 15 allocs — fine.
+	if findings[0].Regressed {
+		t.Fatalf("finding 0 wrongly regressed: %+v", findings[0])
+	}
+	// Second bench: 91ms vs 1µs baseline (time blowout) and 16 vs 3
+	// allocs (alloc blowout) — both gates must fire.
+	if !findings[1].Regressed || len(findings[1].Reasons) != 2 {
+		t.Fatalf("finding 1 should fail both gates: %+v", findings[1])
+	}
+
+	var sb strings.Builder
+	if n := Report(&sb, findings); n != 1 {
+		t.Fatalf("Report counted %d regressions, want 1", n)
+	}
+	if !strings.Contains(sb.String(), "REGRESSED") {
+		t.Fatal("report missing REGRESSED marker")
+	}
+}
+
+func TestCompareAllocSlackAbsorbsSmallMoves(t *testing.T) {
+	base := map[string]BaselineEntry{
+		"BenchmarkX": {Name: "BenchmarkX", NsPerOp: 1000, AllocsPerOp: 15},
+	}
+	th := DefaultThresholds()
+	ms := []Measurement{{Name: "BenchmarkX", Iters: 1, NsPerOp: 1200, AllocsPerOp: 17, HasMem: true}}
+	findings, _ := Compare(ms, base, th)
+	if findings[0].Regressed {
+		t.Fatalf("15 -> 17 allocs within slack, wrongly regressed: %+v", findings[0])
+	}
+	ms[0].AllocsPerOp = 40
+	findings, _ = Compare(ms, base, th)
+	if !findings[0].Regressed {
+		t.Fatal("15 -> 40 allocs must regress")
+	}
+}
+
+func TestLoadBaselineRejectsWrongShape(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"rows": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("baseline without benchmarks array must error")
+	}
+}

@@ -39,6 +39,18 @@ type Mix struct {
 // serving deployment.
 var DefaultMix = Mix{Query: 12, Order: 2, Upload: 1, Edit: 1}
 
+// QueryHeavyMix is the read-dominated preset for benchmarking the
+// kernel tier itself: writes reduced to a keep-alive trickle so the
+// run measures kernel execution and the result cache, not ingest.
+var QueryHeavyMix = Mix{Query: 40, Order: 1, Upload: 1, Edit: 1}
+
+// MixPresets are the named mixes -mix accepts in place of
+// route=weight syntax.
+var MixPresets = map[string]Mix{
+	"default":     DefaultMix,
+	"query-heavy": QueryHeavyMix,
+}
+
 func (m Mix) total() int { return m.Query + m.Order + m.Upload + m.Edit }
 
 // pick maps a uniform draw in [0, total) to a route.
@@ -55,11 +67,15 @@ func (m Mix) pick(n int) string {
 	return RouteEdit
 }
 
-// ParseMix parses "query=12,order=2,upload=1,edit=1".
+// ParseMix parses "query=12,order=2,upload=1,edit=1" or a preset name
+// from MixPresets ("default", "query-heavy").
 func ParseMix(s string) (Mix, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
 		return DefaultMix, nil
+	}
+	if m, ok := MixPresets[s]; ok {
+		return m, nil
 	}
 	var m Mix
 	for _, part := range strings.Split(s, ",") {
@@ -100,8 +116,12 @@ type Config struct {
 	Tenants     []string // X-Tenant values rotated across requests ("" = none)
 	Graph       string   // registered graph queries/orders/edits target
 	Nodes       int      // node count of the target graph (query source range)
-	Seed        uint64
-	Client      *http.Client // optional; defaults to a pooled client
+	// Kernels are rotated uniformly across query operations (default
+	// BFS only). Non-source kernels ignore the source field at the
+	// canonicalization layer, so any registry queryable name works.
+	Kernels []string
+	Seed    uint64
+	Client  *http.Client // optional; defaults to a pooled client
 }
 
 // RouteStats is one route's slice of a Result: the error taxonomy and
@@ -230,6 +250,9 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 2000
 	}
+	if len(cfg.Kernels) == 0 {
+		cfg.Kernels = []string{"BFS"}
+	}
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{
@@ -274,11 +297,12 @@ func Run(cfg Config) (Result, error) {
 				op := cfg.Mix.pick(w.rng.Intn(cfg.Mix.total()))
 				tenant := pickTenant(cfg.Tenants, w.rng)
 				src := w.rng.Intn(cfg.Nodes)
+				kern := cfg.Kernels[w.rng.Intn(len(cfg.Kernels))]
 				upSeed := cfg.Seed*1_000_003 + uint64(seq)
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					status, err := doOp(client, cfg, op, tenant, src, upSeed)
+					status, err := doOp(client, cfg, op, kern, tenant, src, upSeed)
 					w.rec(op).record(status, err, time.Since(scheduled).Microseconds())
 					sem <- wi
 				}()
@@ -296,9 +320,10 @@ func Run(cfg Config) (Result, error) {
 					op := cfg.Mix.pick(w.rng.Intn(cfg.Mix.total()))
 					tenant := pickTenant(cfg.Tenants, w.rng)
 					src := w.rng.Intn(cfg.Nodes)
+					kern := cfg.Kernels[w.rng.Intn(len(cfg.Kernels))]
 					upSeed := cfg.Seed*1_000_003 + uint64(wi)*1_000_000 + uint64(seq)
 					t0 := time.Now()
-					status, err := doOp(client, cfg, op, tenant, src, upSeed)
+					status, err := doOp(client, cfg, op, kern, tenant, src, upSeed)
 					w.rec(op).record(status, err, time.Since(t0).Microseconds())
 				}
 			}(workers[i], i)
@@ -367,8 +392,10 @@ func pickTenant(tenants []string, rng *rand.Rand) string {
 }
 
 // doOp executes one operation and returns the HTTP status (0 on a
-// transport failure).
-func doOp(client *http.Client, cfg Config, op, tenant string, src int, upSeed uint64) (int, error) {
+// transport failure). kern is the rotated query kernel; the source
+// field is sent unconditionally and canonicalized away by kernels
+// that do not consume it.
+func doOp(client *http.Client, cfg Config, op, kern, tenant string, src int, upSeed uint64) (int, error) {
 	var (
 		path string
 		body []byte
@@ -377,7 +404,7 @@ func doOp(client *http.Client, cfg Config, op, tenant string, src int, upSeed ui
 	case RouteQuery:
 		path = "/query"
 		body, _ = json.Marshal(map[string]any{
-			"graph": cfg.Graph, "kernel": "BFS", "source": src,
+			"graph": cfg.Graph, "kernel": kern, "source": src,
 		})
 	case RouteOrder:
 		path = "/jobs"

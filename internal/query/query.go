@@ -71,6 +71,12 @@ type Config struct {
 	// results and relabeled graphs; zero means the defaults.
 	ResultBudget int64
 	GraphBudget  int64
+	// Workers is the goroutine count handed to kernels with a parallel
+	// variant (> 1 engages the multicore engine; <= 1 keeps every
+	// kernel serial). Scheduling only: parallel results are
+	// parity-pinned to serial, so Workers is applied after cache
+	// keying and never splits the result caches.
+	Workers int
 }
 
 // Request is one kernel query.
@@ -162,6 +168,7 @@ type Executor struct {
 	materializedHits atomic.Int64
 	relabelBuilds    atomic.Int64
 	materializeFails atomic.Int64
+	parallelRuns     map[string]*atomic.Int64 // kernel name -> multicore runs
 }
 
 // orderedGraph is a relabeled-graph cache entry: the graph in its
@@ -187,12 +194,19 @@ func New(cfg Config) *Executor {
 	if cfg.GraphBudget <= 0 {
 		cfg.GraphBudget = DefaultGraphBudget
 	}
+	par := make(map[string]*atomic.Int64)
+	for _, k := range registry.Kernels() {
+		if k.Query != nil && k.Parallel {
+			par[k.Name] = new(atomic.Int64)
+		}
+	}
 	return &Executor{
-		cfg:     cfg,
-		results: newByteLRU(cfg.ResultBudget),
-		graphs:  newByteLRU(cfg.GraphBudget),
-		hubs:    make(map[string]int),
-		scratch: sync.Pool{New: func() any { return new(registry.QueryScratch) }},
+		cfg:          cfg,
+		results:      newByteLRU(cfg.ResultBudget),
+		graphs:       newByteLRU(cfg.GraphBudget),
+		hubs:         make(map[string]int),
+		scratch:      sync.Pool{New: func() any { return new(registry.QueryScratch) }},
+		parallelRuns: par,
 	}
 }
 
@@ -370,14 +384,27 @@ func (e *Executor) runOne(ctx context.Context, req Request, st *groupState) (*Re
 	if consumesSource(k) && og.perm != nil {
 		runParams.SPSource = int(og.perm[params.SPSource])
 	}
+	// Workers rides outside the cache key (parallel output is
+	// parity-pinned to serial), so it is applied only now, after keying.
+	if k.Parallel {
+		runParams.Workers = e.cfg.Workers
+	}
 	if st.scratch == nil {
 		st.scratch = e.scratch.Get().(*registry.QueryScratch)
 	}
-	res, kerr := k.Query(og.g, runParams, st.scratch)
+	res, kerr := k.Query(ctx, og.g, runParams, st.scratch)
 	if kerr != nil {
+		if ctx.Err() != nil {
+			return nil, errf(504, "query_timeout", "query deadline exceeded mid-kernel: %v", kerr)
+		}
 		return nil, errf(400, "invalid_params", "%v", kerr)
 	}
 	e.kernelRuns.Add(1)
+	if runParams.Workers > 1 {
+		if c := e.parallelRuns[k.Name]; c != nil {
+			c.Add(1)
+		}
+	}
 	mapResultBack(&res, og.perm)
 
 	c := &cachedResult{res: res}
@@ -664,6 +691,18 @@ func (e *Executor) RelabelBuilds() int64 { return e.relabelBuilds.Load() }
 
 // MaterializeFails returns failed result-artifact writes.
 func (e *Executor) MaterializeFails() int64 { return e.materializeFails.Load() }
+
+// ParallelRuns returns how many times the named kernel ran on the
+// multicore engine (0 for kernels without a parallel variant).
+func (e *Executor) ParallelRuns(kernel string) int64 {
+	if c := e.parallelRuns[kernel]; c != nil {
+		return c.Load()
+	}
+	return 0
+}
+
+// Workers reports the executor's configured kernel worker count.
+func (e *Executor) Workers() int { return e.cfg.Workers }
 
 // ResultCacheBytes returns the result LRU's current footprint.
 func (e *Executor) ResultCacheBytes() int64 {

@@ -108,7 +108,7 @@ func directResult(t *testing.T, g *graph.Graph, kernel string, p registry.Kernel
 			}
 		}
 	}
-	res, err := k.Query(g, p, new(registry.QueryScratch))
+	res, err := k.Query(context.Background(), g, p, new(registry.QueryScratch))
 	if err != nil {
 		t.Fatal(err)
 	}

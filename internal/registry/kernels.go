@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -26,6 +27,12 @@ type KernelParams struct {
 	SPSource int
 	// LabelPropIters bounds the LP kernel's sweeps (<= 0 = default).
 	LabelPropIters int
+	// Workers sets the goroutine count for kernels with a parallel
+	// variant (Kernel.Parallel): > 1 dispatches to internal/exec, <= 1
+	// runs the serial kernel. Scheduling only — parallel results are
+	// parity-pinned to the serial oracles, so Workers never enters
+	// kernel keys (mirroring the ordering Workers option).
+	Workers int
 }
 
 // DefaultKernelParams are the paper's kernel parameters with the
@@ -59,8 +66,12 @@ type Kernel struct {
 	// invariant under relabeling (so results computed on any ordering
 	// map back to the caller's ID space exactly). Kernels whose
 	// natural output is order-dependent (visit sequences, component
-	// labels) leave it nil.
-	Query func(g *graph.Graph, p KernelParams, s *QueryScratch) (KernelResult, error)
+	// labels) leave it nil. ctx bounds the execution: the parallel
+	// variants poll it between chunks and return its error mid-run.
+	Query func(ctx context.Context, g *graph.Graph, p KernelParams, s *QueryScratch) (KernelResult, error)
+	// Parallel marks kernels whose Query dispatches to the multicore
+	// engine (internal/exec) when KernelParams.Workers > 1.
+	Parallel bool
 	// WholeGraph marks source-independent queryable kernels whose
 	// full result the query tier may materialize as a store artifact.
 	WholeGraph bool
@@ -88,8 +99,8 @@ func spSource(g *graph.Graph, p KernelParams) graph.NodeID {
 // THIS IS THE ONLY KERNEL-DISPATCH SITE IN THE REPOSITORY.
 var kernels = []Kernel{
 	{
-		Name: "BFS", Paper: true,
-		Query: queryBFS, QueryConsumes: []KernelOptionField{KOptSource},
+		Name: "BFS", Paper: true, Parallel: true,
+		Query: queryBFS, QueryConsumes: []KernelOptionField{KOptSource, KOptWorkers},
 		Run: func(g *graph.Graph, _ KernelParams) { algos.BFSAll(g) },
 		RunTraced: func(_ *graph.Graph, t *algos.TracedGraph, s *mem.Space, _ KernelParams) {
 			algos.TracedBFSAll(t, s)
@@ -144,8 +155,8 @@ var kernels = []Kernel{
 		},
 	},
 	{
-		Name: "PR", Paper: true,
-		Query: queryPR, WholeGraph: true, QueryConsumes: []KernelOptionField{KOptIters},
+		Name: "PR", Paper: true, Parallel: true,
+		Query: queryPR, WholeGraph: true, QueryConsumes: []KernelOptionField{KOptIters, KOptWorkers},
 		Run: func(g *graph.Graph, p KernelParams) {
 			algos.PageRank(g, p.PageRankIters, algos.DefaultDamping)
 		},
@@ -161,8 +172,8 @@ var kernels = []Kernel{
 		},
 	},
 	{
-		Name: "SP", Paper: true,
-		Query: querySP, QueryConsumes: []KernelOptionField{KOptSource},
+		Name: "SP", Paper: true, Parallel: true,
+		Query: querySP, QueryConsumes: []KernelOptionField{KOptSource, KOptWorkers},
 		Run: func(g *graph.Graph, p KernelParams) {
 			algos.BellmanFord(g, spSource(g, p))
 		},
@@ -171,8 +182,8 @@ var kernels = []Kernel{
 		},
 	},
 	{
-		Name:  "Tri",
-		Query: queryTri, WholeGraph: true,
+		Name: "Tri", Parallel: true,
+		Query: queryTri, WholeGraph: true, QueryConsumes: []KernelOptionField{KOptWorkers},
 		Run: func(g *graph.Graph, _ KernelParams) { algos.TriangleCount(g) },
 		RunTraced: func(g *graph.Graph, _ *algos.TracedGraph, s *mem.Space, _ KernelParams) {
 			algos.TracedTriangleCount(g, s)

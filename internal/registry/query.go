@@ -1,12 +1,14 @@
 package registry
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
 	"strings"
 
 	"gorder/internal/algos"
+	"gorder/internal/exec"
 	"gorder/internal/graph"
 )
 
@@ -80,6 +82,7 @@ func (r *KernelResult) Value(v int) float64 {
 type QueryScratch struct {
 	dist  []int32        // full length, all Unreached between calls
 	queue []graph.NodeID // visit-order buffer, reused for capacity
+	par   exec.Scratch   // parallel engine buffers (frontiers, contribs)
 }
 
 // buffers returns the distance and queue buffers sized for n
@@ -106,6 +109,11 @@ const (
 	KOptSource KernelOptionField = "source"
 	// KOptIters is the PageRank iteration count.
 	KOptIters KernelOptionField = "iters"
+	// KOptWorkers is the parallel-engine goroutine count
+	// (KernelParams.Workers). Consumed but never keyed: parallel
+	// results are parity-pinned to serial, so the same cache entry
+	// serves any worker count.
+	KOptWorkers KernelOptionField = "workers"
 )
 
 // CanonicalKernelParams normalizes p for the named kernel: fields the
@@ -131,6 +139,11 @@ func CanonicalKernelParams(name string, p KernelParams) (KernelParams, error) {
 			if c.PageRankIters <= 0 {
 				c.PageRankIters = algos.DefaultPageRankIters
 			}
+		case KOptWorkers:
+			// Scheduling only — canonically zero. The execution layer
+			// re-applies its Workers setting after keying, so parallel
+			// and serial runs share one cache entry (their results are
+			// parity-pinned).
 		}
 	}
 	return c, nil
@@ -183,10 +196,36 @@ func checkSource(g *graph.Graph, p KernelParams) (graph.NodeID, error) {
 
 // ---- per-kernel query entry points --------------------------------------
 
-func queryBFS(g *graph.Graph, p KernelParams, s *QueryScratch) (KernelResult, error) {
+// parScratch borrows the parallel-engine buffers from s, tolerating a
+// nil scratch (the exec kernels allocate their own then).
+func parScratch(s *QueryScratch) *exec.Scratch {
+	if s == nil {
+		return nil
+	}
+	return &s.par
+}
+
+func queryBFS(ctx context.Context, g *graph.Graph, p KernelParams, s *QueryScratch) (KernelResult, error) {
 	src, err := checkSource(g, p)
 	if err != nil {
 		return KernelResult{}, err
+	}
+	if p.Workers > 1 {
+		dist, reached, err := exec.DOBFS(ctx, g, src, p.Workers, parScratch(s))
+		if err != nil {
+			return KernelResult{}, err
+		}
+		var ecc int32
+		for _, d := range dist {
+			if d > ecc {
+				ecc = d
+			}
+		}
+		return KernelResult{
+			Kernel:  "BFS",
+			Summary: map[string]float64{"reached": float64(reached), "ecc": float64(ecc)},
+			Int32s:  dist,
+		}, nil
 	}
 	n := g.NumNodes()
 	dist, queue := s.buffers(n)
@@ -212,12 +251,20 @@ func queryBFS(g *graph.Graph, p KernelParams, s *QueryScratch) (KernelResult, er
 	}, nil
 }
 
-func querySP(g *graph.Graph, p KernelParams, _ *QueryScratch) (KernelResult, error) {
+func querySP(ctx context.Context, g *graph.Graph, p KernelParams, s *QueryScratch) (KernelResult, error) {
 	src, err := checkSource(g, p)
 	if err != nil {
 		return KernelResult{}, err
 	}
-	dist := algos.BellmanFord(g, src)
+	var dist []int32
+	if p.Workers > 1 {
+		dist, err = exec.ShortestPaths(ctx, g, src, p.Workers, parScratch(s))
+		if err != nil {
+			return KernelResult{}, err
+		}
+	} else {
+		dist = algos.BellmanFord(g, src)
+	}
 	var ecc int32
 	reached := 0
 	for _, d := range dist {
@@ -236,12 +283,21 @@ func querySP(g *graph.Graph, p KernelParams, _ *QueryScratch) (KernelResult, err
 	}, nil
 }
 
-func queryPR(g *graph.Graph, p KernelParams, _ *QueryScratch) (KernelResult, error) {
+func queryPR(ctx context.Context, g *graph.Graph, p KernelParams, s *QueryScratch) (KernelResult, error) {
 	iters := p.PageRankIters
 	if iters <= 0 {
 		iters = algos.DefaultPageRankIters
 	}
-	rank := algos.PageRank(g, iters, algos.DefaultDamping)
+	var rank []float64
+	if p.Workers > 1 {
+		var err error
+		rank, err = exec.PageRank(ctx, g, iters, algos.DefaultDamping, p.Workers, parScratch(s))
+		if err != nil {
+			return KernelResult{}, err
+		}
+	} else {
+		rank = algos.PageRank(g, iters, algos.DefaultDamping)
+	}
 	var sum, max float64
 	for _, r := range rank {
 		sum += r
@@ -256,7 +312,7 @@ func queryPR(g *graph.Graph, p KernelParams, _ *QueryScratch) (KernelResult, err
 	}, nil
 }
 
-func queryKcore(g *graph.Graph, _ KernelParams, _ *QueryScratch) (KernelResult, error) {
+func queryKcore(_ context.Context, g *graph.Graph, _ KernelParams, _ *QueryScratch) (KernelResult, error) {
 	core := algos.CoreNumbers(g)
 	var max int32
 	for _, c := range core {
@@ -271,7 +327,7 @@ func queryKcore(g *graph.Graph, _ KernelParams, _ *QueryScratch) (KernelResult, 
 	}, nil
 }
 
-func queryNQ(g *graph.Graph, _ KernelParams, _ *QueryScratch) (KernelResult, error) {
+func queryNQ(_ context.Context, g *graph.Graph, _ KernelParams, _ *QueryScratch) (KernelResult, error) {
 	q := algos.NeighbourQuery(g)
 	var sum, max int64
 	for _, v := range q {
@@ -287,9 +343,19 @@ func queryNQ(g *graph.Graph, _ KernelParams, _ *QueryScratch) (KernelResult, err
 	}, nil
 }
 
-func queryTri(g *graph.Graph, _ KernelParams, _ *QueryScratch) (KernelResult, error) {
+func queryTri(ctx context.Context, g *graph.Graph, p KernelParams, s *QueryScratch) (KernelResult, error) {
+	var tri int64
+	if p.Workers > 1 {
+		var err error
+		tri, err = exec.TriangleCount(ctx, g, p.Workers, parScratch(s))
+		if err != nil {
+			return KernelResult{}, err
+		}
+	} else {
+		tri = algos.TriangleCount(g)
+	}
 	return KernelResult{
 		Kernel:  "Tri",
-		Summary: map[string]float64{"triangles": float64(algos.TriangleCount(g))},
+		Summary: map[string]float64{"triangles": float64(tri)},
 	}, nil
 }

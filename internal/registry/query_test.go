@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -92,7 +93,7 @@ func TestQueryBFSMatchesDirectTraversal(t *testing.T) {
 	// match fresh per-run traversals, proving the buffer reset between
 	// calls is complete.
 	for _, src := range []int{0, 17} {
-		res, err := k.Query(g, KernelParams{SPSource: src}, &scratch)
+		res, err := k.Query(context.Background(), g, KernelParams{SPSource: src}, &scratch)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,10 +112,10 @@ func TestQueryBFSMatchesDirectTraversal(t *testing.T) {
 		}
 	}
 
-	if _, err := k.Query(g, KernelParams{SPSource: g.NumNodes()}, &scratch); err == nil {
+	if _, err := k.Query(context.Background(), g, KernelParams{SPSource: g.NumNodes()}, &scratch); err == nil {
 		t.Error("out-of-range source accepted")
 	}
-	if _, err := k.Query(g, KernelParams{SPSource: -1}, &scratch); err == nil {
+	if _, err := k.Query(context.Background(), g, KernelParams{SPSource: -1}, &scratch); err == nil {
 		t.Error("unresolved hub sentinel accepted by the kernel")
 	}
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"math"
@@ -62,7 +63,7 @@ func TestQueryEndToEnd(t *testing.T) {
 		t.Fatal("first BFS query reported a cache hit")
 	}
 	k, _ := registry.LookupKernel("BFS")
-	want, err := k.Query(g, registry.KernelParams{SPSource: int(registry.HubSource(g))},
+	want, err := k.Query(context.Background(), g, registry.KernelParams{SPSource: int(registry.HubSource(g))},
 		new(registry.QueryScratch))
 	if err != nil {
 		t.Fatal(err)
@@ -78,7 +79,7 @@ func TestQueryEndToEnd(t *testing.T) {
 	// the reordered graph).
 	pr := postQuery(t, ts, query.Request{Graph: info.ID, Kernel: "PR", Targets: targets}, http.StatusOK)
 	kpr, _ := registry.LookupKernel("PR")
-	wantPR, err := kpr.Query(g, registry.KernelParams{}, nil)
+	wantPR, err := kpr.Query(context.Background(), g, registry.KernelParams{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Runs the multicore kernel-engine experiment (serial oracles vs
+# internal/exec at 1/2/4/8 workers on the gorder-ordered 1M-edge web
+# workload, with per-run bit-identical parity checks) and records the
+# result as BENCH_kernels.json at the repo root.
+#
+# On a single-core host the speedup column reads as engine overhead;
+# the chunk-grid work-partition fields (edge imbalance, 4-worker
+# speedup bound) are the machine-independent evidence that the
+# partition scales. See EXPERIMENTS.md for the many-core recipe.
+#
+#   REPS=5 scripts/bench_kernels.sh      # more repetitions
+#   SCALE=0.1 scripts/bench_kernels.sh   # smaller workload
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/bench -exp kernels \
+	-reps "${REPS:-3}" -scale "${SCALE:-1.0}" -v \
+	-kernels-json BENCH_kernels.json
+
+echo "wrote BENCH_kernels.json"

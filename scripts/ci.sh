@@ -70,12 +70,18 @@ go test -race ./...
 echo "==> greedy parity under race (optimized loop == seed reference, bit for bit)"
 go test -race -run 'TestOrderOptimizedMatchesReference' -count=1 ./internal/core/
 
+echo "==> parallel kernel parity under race (exec == serial oracles, bit for bit, workers 1/2/4/8)"
+go test -race -count=1 ./internal/exec/
+
 echo "==> parallel ordering smoke under race (boba + gorder-partitioned, workers=4, mid-size web graph)"
 go test -race -count=1 -run 'TestParallelSmokeMidSize' ./internal/core/
 
 echo "==> GOMAXPROCS=1 go test (serial ingest fallback + registry parity)"
 GOMAXPROCS=1 go test ./internal/graph/ ./internal/cli/ ./internal/server/ ./internal/registry/
 GOMAXPROCS=1 go test -run 'TestParity' .
+
+echo "==> GOMAXPROCS=1 kernel-engine pass (worker counts above core count stay bit-identical)"
+GOMAXPROCS=1 go test -count=1 ./internal/exec/
 
 echo "==> GOMAXPROCS=1 parallel determinism pass (worker- and GOMAXPROCS-independent permutations)"
 GOMAXPROCS=1 go test -count=1 \
@@ -97,11 +103,16 @@ go run ./examples/evolvinggraph >/dev/null
 echo "==> query cold/warm smoke (cold computes, warm repeat hits the result cache)"
 go test -race ./internal/query/ -run 'TestQueryColdWarm' -count=1
 
-echo "==> ingest benchmark smoke (-benchtime=1x)"
-go test ./internal/graph/ -run='^$' -bench=. -benchtime=1x
+echo "==> ingest benchmark smoke + regression diff (-benchtime=1x, gated by benchdiff)"
+# Single-iteration timings are noisy, so benchdiff's time gate is loose
+# (8x) and exists for pathological regressions only; the allocs/op gate
+# is tight because allocation counts are machine-independent.
+go test ./internal/graph/ -run='^$' -bench=. -benchtime=1x -benchmem \
+    | go run ./cmd/benchdiff -baseline BENCH_ingest.json -min-match 4
 
-echo "==> ordering benchmark smoke (-benchtime=1x)"
-go test ./internal/core/ -run='^$' -bench='BenchmarkOrderWith/web120k' -benchtime=1x
+echo "==> ordering benchmark smoke + regression diff (-benchtime=1x, gated by benchdiff)"
+go test ./internal/core/ -run='^$' -bench='BenchmarkOrderWith/web120k' -benchtime=1x -benchmem \
+    | go run ./cmd/benchdiff -baseline BENCH_gorder.json -min-match 4
 
 echo "==> serving smoke (gorderbench mixed traffic at a store-backed daemon, zero errors)"
 # Two seconds of closed-loop upload/order/query/edit traffic from two
